@@ -1,0 +1,75 @@
+"""BIGDATA — §6.3 / §2.5: the Digital Factory's phenomena.
+
+- vicissitude ([38]): bottlenecks wander across resource classes under
+  concurrent pipelines, and do *not* wander in the solo regime;
+- Fawkes ([94]): demand-proportional balancing across dynamic MapReduce
+  clusters beats a static equal split on imbalanced tenants;
+- elasticity in graph analytics ([111], the Table 8 row): elastic
+  capacity tracks per-phase parallelism — near static-large speed at
+  near static-small cost.
+"""
+
+from repro.bigdata import (
+    FawkesAllocator,
+    StaticAllocator,
+    run_fawkes_experiment,
+    run_vicissitude_experiment,
+)
+from repro.graphalytics.elasticity import elasticity_study
+
+
+def bench_bigdata_vicissitude(benchmark, report, table):
+    def run_both():
+        return {
+            "contended": run_vicissitude_experiment(
+                seed=3, concurrency="contended"),
+            "solo": run_vicissitude_experiment(seed=3, concurrency="solo"),
+        }
+
+    traces = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [[regime, t.distinct_bottlenecks, t.shifts,
+             f"{t.entropy_bits:.2f}",
+             {k: f"{v:.2f}" for k, v in t.time_share.items()},
+             "YES" if t.is_vicissitude else "no"]
+            for regime, t in traces.items()]
+    report("bigdata_vicissitude", "§2.5 [38]: vicissitude",
+           table(["regime", "bottleneck classes", "shifts",
+                  "entropy (bits)", "time share", "vicissitude"], rows))
+    assert traces["contended"].is_vicissitude
+    assert not traces["solo"].is_vicissitude
+
+
+def bench_bigdata_fawkes(benchmark, report, table):
+    def run_both():
+        return {
+            "static": run_fawkes_experiment(StaticAllocator(), seed=4),
+            "fawkes": run_fawkes_experiment(FawkesAllocator(), seed=4),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [[name,
+             f"{r.per_tenant_slowdown['heavy']:.2f}",
+             f"{r.per_tenant_slowdown['light']:.2f}",
+             f"{r.mean_slowdown:.2f}", f"{r.max_slowdown:.2f}"]
+            for name, r in results.items()]
+    report("bigdata_fawkes",
+           "§6.3 [94]: Fawkes balanced MapReduce allocation",
+           table(["allocator", "heavy-tenant slowdown",
+                  "light-tenant slowdown", "mean", "max"], rows))
+    assert results["fawkes"].max_slowdown < results["static"].max_slowdown
+
+
+def bench_graph_elasticity(benchmark, report, table):
+    study = benchmark(elasticity_study)
+    rows = [[r.label, f"{r.makespan_s:.0f}",
+             f"{r.resource_seconds:.0f}", f"{r.efficiency:.2f}",
+             r.reconfigurations]
+            for r in study.values()]
+    report("tab8_elasticity",
+           "Table 8 [111]: elasticity in graph analytics",
+           table(["deployment", "makespan (s)",
+                  "provisioned resource-s", "efficiency",
+                  "reconfigurations"], rows))
+    elastic, large = study["elastic"], study["static-large"]
+    assert elastic.makespan_s < large.makespan_s * 1.15
+    assert elastic.resource_seconds < 0.5 * large.resource_seconds

@@ -1,0 +1,38 @@
+"""FIG1 — Figure 1: presence of selected keywords in top systems venues.
+
+Regenerates the keyword-presence matrix over the synthetic corpus and
+checks the figure's claim: *design is a common keyword* (top-4 in every
+venue and rising by decade).
+"""
+
+from repro.bibliometrics import generate_corpus, keyword_presence
+from repro.bibliometrics.keywords import design_rank_among_keywords
+from repro.sim import RandomStreams
+
+
+def _corpus():
+    return generate_corpus(RandomStreams(seed=101).get("fig1"))
+
+
+def bench_fig1_keyword_presence(benchmark, report, table):
+    corpus = _corpus()
+    presence = benchmark(keyword_presence, corpus, by="venue")
+    ranks = design_rank_among_keywords(presence)
+    keywords = sorted(next(iter(presence.values())))
+    rows = [[venue] + [f"{presence[venue][k]:.2f}" for k in keywords]
+            + [ranks[venue]]
+            for venue in sorted(presence)]
+    report("fig1_keywords", "Figure 1: keyword presence per venue",
+           table(["venue"] + keywords + ["design rank"], rows))
+    assert all(rank <= 4 for rank in ranks.values())
+
+
+def bench_fig1_decade_trend(benchmark, report, table):
+    corpus = _corpus()
+    presence = benchmark(keyword_presence, corpus, by="decade")
+    rows = [[decade, f"{presence[decade]['design']:.3f}"]
+            for decade in sorted(presence)]
+    report("fig1_decades", "Figure 1 (trend): design presence by decade",
+           table(["decade", "design keyword share"], rows))
+    decades = sorted(presence)
+    assert presence[decades[-1]]["design"] > presence[decades[0]]["design"]

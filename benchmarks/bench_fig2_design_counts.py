@@ -1,0 +1,36 @@
+"""FIG2 — Figure 2: count of design articles per venue per 5-year block.
+
+Checks the figure's findings: censored early blocks for late-starting
+venues, increasing accumulation for most venues (ICDCS included), and the
+marked increase since 2000.
+"""
+
+from repro.bibliometrics import design_articles_per_block, generate_corpus
+from repro.bibliometrics.trends import marked_increase_since, trend_is_increasing
+from repro.sim import RandomStreams
+
+
+def _corpus():
+    return generate_corpus(RandomStreams(seed=102).get("fig2"))
+
+
+def bench_fig2_counts_per_block(benchmark, report, table):
+    corpus = _corpus()
+    counts = benchmark(design_articles_per_block, corpus)
+    blocks = list(next(iter(counts.values())))
+    rows = []
+    for venue in sorted(counts):
+        rows.append([venue] + [
+            "censored" if counts[venue][b] is None else counts[venue][b]
+            for b in blocks])
+    lines = table(["venue"] + blocks, rows)
+    increasing = [v for v, row in counts.items() if trend_is_increasing(row)]
+    ratio = marked_increase_since(corpus, 2000)
+    lines.append("")
+    lines.append(f"Venues with increasing accumulation: "
+                 f"{len(increasing)}/{len(counts)} ({sorted(increasing)})")
+    lines.append(f"Design articles/year after-vs-before 2000: {ratio:.1f}x")
+    report("fig2_design_counts",
+           "Figure 2: design articles per 5-year block", lines)
+    assert "ICDCS" in increasing
+    assert ratio > 2.0

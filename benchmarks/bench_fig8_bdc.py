@@ -1,0 +1,89 @@
+"""FIG8 — Figure 8: the ATLARGE design process (BDC + Overall Process).
+
+Runs the BDC against each stopping criterion and an Overall Process with
+nested child cycles, and reports the provenance statistics (stages
+executed vs. skipped — the skippability that makes the process flexible).
+"""
+
+from repro.core import (
+    BasicDesignCycle,
+    OverallProcess,
+    Stage,
+    StoppingCriterion,
+)
+from repro.core.space import DesignProblem, DesignSpace, Dimension, RuggedLandscape
+from repro.sim import RandomStreams
+
+
+def _design_handler(seed: int):
+    space = DesignSpace([
+        Dimension(f"d{i}", tuple(f"o{j}" for j in range(4)))
+        for i in range(6)
+    ])
+    landscape = RuggedLandscape(space, seed=seed, k=2)
+    problem = DesignProblem("fig8", space, quality=landscape,
+                            satisfice_threshold=0.7)
+    rng = RandomStreams(seed).get("bdc")
+
+    def handler(context):
+        candidate = space.random_candidate(rng)
+        quality = problem.evaluate(candidate)
+        if quality >= problem.satisfice_threshold:
+            return (candidate, quality)
+        return None
+
+    return handler
+
+
+def bench_fig8_stopping_criteria(benchmark, report, table):
+    def run_all():
+        results = {}
+        for target in (StoppingCriterion.SATISFICED,
+                       StoppingCriterion.PORTFOLIO,
+                       StoppingCriterion.SYSTEMATIC):
+            cycle = BasicDesignCycle(
+                "fig8", handlers={Stage.DESIGN: _design_handler(808)},
+                target=target, budget=4000)
+            results[target.value] = cycle.run()
+        # A starved budget demonstrates the BUDGET fallback.
+        cycle = BasicDesignCycle(
+            "fig8-starved", handlers={Stage.DESIGN: lambda ctx: None},
+            target=StoppingCriterion.SATISFICED, budget=16)
+        results["starved"] = cycle.run()
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[name, r.stopped_by.value, len(r.answers), r.iterations,
+             r.budget_spent, len(r.document.skipped())]
+            for name, r in results.items()]
+    report("fig8_bdc", "Figure 8: BDC stopping criteria",
+           table(["target", "stopped by", "answers", "iterations",
+                  "budget spent", "stages skipped"], rows))
+    assert results["satisficed"].stopped_by is StoppingCriterion.SATISFICED
+    assert len(results["portfolio"].answers) == 3
+    assert len(results["systematic"].answers) == 10
+    assert results["starved"].stopped_by is StoppingCriterion.BUDGET
+
+
+def bench_fig8_overall_process_nesting(benchmark, report, table):
+    def run_op():
+        child = BasicDesignCycle(
+            "implementation-child",
+            handlers={Stage.DESIGN: _design_handler(809)}, budget=2000)
+        parent = BasicDesignCycle("fig8-op", handlers={}, budget=64)
+        op = OverallProcess(parent,
+                            children={Stage.IMPLEMENTATION: child})
+        context: dict = {}
+        result = op.run(context)
+        return result, context
+
+    result, context = benchmark.pedantic(run_op, rounds=1, iterations=1)
+    child_runs = context["children"][Stage.IMPLEMENTATION]
+    report("fig8_op", "Figure 8: Overall Process with nested BDC", [
+        f"- parent stopped by: {result.stopped_by.value}",
+        f"- parent answers: {len(result.answers)}",
+        f"- child BDC runs: {len(child_runs)}",
+        f"- child answers: {sum(len(c.answers) for c in child_runs)}",
+    ])
+    assert child_runs
+    assert result.answers  # the child's design surfaced to the parent

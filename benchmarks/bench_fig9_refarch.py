@@ -1,0 +1,47 @@
+"""FIG9 — Figure 9: the evolving datacenter reference architecture.
+
+Maps the MapReduce ecosystem onto both architecture generations and
+measures each generation's coverage of modern ecosystems — the paper's
+quantitative argument for the 2016 revision.
+"""
+
+from repro.refarch import (
+    BIG_DATA_2011,
+    DATACENTER_2016,
+    INDUSTRY_ECOSYSTEMS,
+    MAPREDUCE_ECOSYSTEM,
+    coverage,
+    map_ecosystem,
+)
+
+
+def bench_fig9_mapreduce_mapping(benchmark, report, table):
+    mapping = benchmark(map_ecosystem, DATACENTER_2016,
+                        MAPREDUCE_ECOSYSTEM, "mapreduce")
+    rows = [[name, ", ".join(layers)]
+            for name, layers in sorted(mapping.placed.items())]
+    report("fig9_mapreduce",
+           "Figure 9: MapReduce ecosystem on the 2016 architecture",
+           table(["component", "layer(s)"], rows))
+    assert mapping.coverage == 1.0
+    assert coverage(BIG_DATA_2011, MAPREDUCE_ECOSYSTEM) == 1.0
+
+
+def bench_fig9_architecture_evolution(benchmark, report, table):
+    def measure():
+        return {
+            eco: (coverage(BIG_DATA_2011, comps),
+                  coverage(DATACENTER_2016, comps))
+            for eco, comps in INDUSTRY_ECOSYSTEMS.items()
+        }
+
+    coverages = benchmark(measure)
+    rows = [[eco, f"{c2011:.2f}", f"{c2016:.2f}"]
+            for eco, (c2011, c2016) in sorted(coverages.items())]
+    report("fig9_evolution",
+           "Figure 9: 2011 vs 2016 architecture coverage",
+           table(["ecosystem", "2011 coverage", "2016 coverage"], rows))
+    # The revision's point: 2016 covers everything; 2011 cannot place
+    # the modern components.
+    assert all(c2016 == 1.0 for _, c2016 in coverages.values())
+    assert coverages["modern-datacenter"][0] < 1.0

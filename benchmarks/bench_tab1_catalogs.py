@@ -1,0 +1,57 @@
+"""TAB1-3 — Tables 1-3: the framework catalogs.
+
+Regenerates the framework overview (Table 1), the eight principles
+(Table 2), and the ten challenges with their principle links (Table 3),
+and validates the cross-reference structure.
+"""
+
+from repro.core import (
+    CHALLENGES,
+    FRAMEWORK_OVERVIEW,
+    PRINCIPLES,
+    challenges_for_principle,
+)
+
+
+def bench_tab1_overview(benchmark, report, table):
+    def render():
+        rows = []
+        for question, entries in FRAMEWORK_OVERVIEW.items():
+            for aspect, content in entries.items():
+                rows.append([question, aspect, content])
+        return rows
+
+    rows = benchmark(render)
+    report("tab1_overview", "Table 1: the ATLARGE framework overview",
+           table(["", "aspect", "content"], rows))
+    # Table 1's rows: 1 (Who?) + 3 (What?) + 5 (How?).
+    assert len(rows) == 9
+
+
+def bench_tab2_tab3_catalogs(benchmark, report, table):
+    def render():
+        principle_rows = [[p.index, p.category, p.key_aspects, p.statement]
+                          for p in PRINCIPLES.values()]
+        challenge_rows = [[c.index, c.category, c.key_aspects,
+                           ",".join(c.principles)]
+                          for c in CHALLENGES.values()]
+        return principle_rows, challenge_rows
+
+    principle_rows, challenge_rows = benchmark(render)
+    lines = table(["index", "category", "key aspects", "statement"],
+                  principle_rows)
+    lines.append("")
+    lines += table(["index", "category", "key aspects", "principles"],
+                   challenge_rows)
+    report("tab2_tab3_catalogs", "Tables 2-3: principles and challenges",
+           lines)
+    assert len(principle_rows) == 8
+    assert len(challenge_rows) == 10
+    # Table 3's Pr. column cites every principle except P8 (the
+    # history-awareness principle has no dedicated challenge).
+    for index in PRINCIPLES:
+        cited = challenges_for_principle(index)
+        if index == "P8":
+            assert not cited
+        else:
+            assert cited, index

@@ -1,0 +1,121 @@
+"""TAB8 — Table 8: the Graphalytics ecosystem.
+
+- [105] the PAD law: performance depends on the Platform × Algorithm ×
+  Dataset interaction (no dominant platform, rankings flip);
+- [106] the HPAD refinement: heterogeneous platforms win only a subset of
+  cells and can fail outright (device memory);
+- [100] Granula: phase breakdowns and bottleneck attribution;
+- [108] Grade10-style: where the time goes per platform.
+"""
+
+from collections import Counter
+
+from repro.graphalytics import (
+    PLATFORMS,
+    pad_interaction_analysis,
+    run_benchmark,
+)
+from repro.graphalytics.benchmark import hpad_analysis
+
+
+def _report():
+    return run_benchmark(n_vertices=1500, seed=801,
+                         algorithms=("bfs", "pagerank", "wcc", "lcc"),
+                         datasets=("scale-free", "road", "random"))
+
+
+def bench_tab8_pad_law(benchmark, report, table):
+    bench_report = benchmark.pedantic(_report, rounds=1, iterations=1)
+    analysis = pad_interaction_analysis(bench_report)
+    rows = [[a, d, bench_report.ranking(a, d)[0],
+             f"{sorted(bench_report.cell(a, d), key=lambda r: r.modeled_time_s)[0].modeled_time_s:.1f}"]
+            for a, d in bench_report.cells()]
+    lines = table(["algorithm", "dataset", "winner", "time (s)"], rows)
+    lines.append("")
+    lines.append(f"Distinct rankings: {analysis['distinct_rankings']}; "
+                 f"winner counts: {analysis['winner_counts']}; "
+                 f"interaction strength: "
+                 f"{analysis['interaction_strength']:.2f}")
+    report("tab8_pad", "Table 8 [105]: the PAD law", lines)
+    assert analysis["no_dominant_platform"]
+    assert analysis["distinct_rankings"] > 1
+
+
+def bench_tab8_hpad(benchmark, report, table):
+    bench_report = _report()
+    analysis = benchmark(hpad_analysis, bench_report)
+    report("tab8_hpad", "Table 8 [106]: the HPAD refinement", [
+        f"- heterogeneous platforms win "
+        f"{analysis['het_win_fraction']:.0%} of cells",
+        f"- winning cells: {analysis['het_win_cells']}",
+        f"- device failures: {analysis['het_failures'] or 'none'}",
+        f"- PAD law is the special case: "
+        f"{analysis['pad_only_special_case']}",
+    ])
+    assert analysis["pad_only_special_case"]
+
+
+def bench_tab8_granula_breakdown(benchmark, report, table):
+    bench_report = _report()
+
+    def attribute():
+        bottlenecks = Counter(
+            (run.platform, run.breakdown.bottleneck())
+            for run in bench_report.runs if not run.failed)
+        return bottlenecks
+
+    bottlenecks = benchmark(attribute)
+    rows = [[platform,
+             bottlenecks.get((platform, "setup"), 0),
+             bottlenecks.get((platform, "load"), 0),
+             bottlenecks.get((platform, "compute"), 0)]
+            for platform in sorted(PLATFORMS)]
+    report("tab8_granula",
+           "Table 8 [100]: Granula bottleneck attribution "
+           "(runs dominated by each phase)",
+           table(["platform", "setup-bound", "load-bound",
+                  "compute-bound"], rows))
+    # Distinct platforms bottleneck differently — the Granula insight.
+    distinct_profiles = {
+        tuple(bottlenecks.get((p, phase), 0)
+              for phase in ("setup", "load", "compute"))
+        for p in PLATFORMS
+    }
+    assert len(distinct_profiles) > 1
+
+
+def bench_tab8_grade10_models(benchmark, report, table):
+    """[108] Grade10: fit performance models from runs, predict unseen
+    cells without re-running."""
+    from repro.graphalytics.grade10 import (
+        cross_validate,
+        fit_platform_model,
+        observations_from_runs,
+    )
+
+    big_report = run_benchmark(n_vertices=800, seed=808,
+                               algorithms=("bfs", "pagerank", "wcc",
+                                           "lcc", "sssp"),
+                               datasets=("scale-free", "road", "random"))
+    observations = observations_from_runs(big_report.runs)
+
+    def fit_all():
+        rows = []
+        for platform in sorted(PLATFORMS):
+            try:
+                model = fit_platform_model(observations, platform)
+                loo = cross_validate(observations, platform)
+            except ValueError:
+                continue
+            rows.append([platform, f"{model.training_error:.1%}",
+                         f"{loo:.1%}"])
+        return rows
+
+    rows = benchmark(fit_all)
+    report("tab8_grade10",
+           "Table 8 [108]: Grade10 fitted model accuracy",
+           table(["platform", "training error",
+                  "leave-one-out error"], rows))
+    # Fitted models generalize to held-out (A, D) cells.
+    assert rows
+    assert all(float(r[2].rstrip("%")) < 80.0 for r in rows)

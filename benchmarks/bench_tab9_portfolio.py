@@ -1,0 +1,144 @@
+"""TAB9 — Table 9: portfolio scheduling across workloads × environments.
+
+Regenerates every row's finding ("PS is useful"): the portfolio tracks the
+best static policy per cell without knowing the workload in advance. Also
+regenerates the two phenomena that drove the co-evolution:
+
+- [114]→[115]: online simulation cost grows with the portfolio, and the
+  active set bounds it;
+- [120]: with hard-to-predict runtimes (big data), static policy spread is
+  large and selection can be misled — yet PS remains useful.
+"""
+
+from repro.scheduling import (
+    PortfolioConfig,
+    run_table9_cell,
+)
+from repro.scheduling.experiments import TABLE9_ROWS, run_portfolio
+
+
+def bench_tab9_grid(benchmark, report, table):
+    def run_grid():
+        return [run_table9_cell(domain, environment, seed=901, n_jobs=25)
+                for domain, environment in TABLE9_ROWS]
+
+    cells = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = []
+    for cell in cells:
+        best_name, best = cell.best_static
+        _, worst = cell.worst_static
+        rows.append([
+            cell.workload, cell.environment,
+            f"{best_name} ({best:.2f})", f"{worst:.2f}",
+            f"{cell.portfolio_result:.2f}",
+            f"{cell.ps_regret():.2f}",
+            "useful" if cell.ps_is_useful() else "NOT useful",
+        ])
+    report("tab9_grid", "Table 9: portfolio scheduling grid",
+           table(["workload", "env", "best static (slowdown)",
+                  "worst static", "portfolio", "regret",
+                  "finding"], rows))
+    useful = sum(1 for cell in cells if cell.ps_is_useful())
+    assert useful >= len(cells) - 1, f"PS useful in only {useful} cells"
+
+
+def bench_tab9_online_cost(benchmark, report, table):
+    """[114]: simulation cost grows with portfolio size; [115]: the
+    active set bounds it with little quality loss."""
+    def run_variants():
+        results = {}
+        for label, policies, active in [
+                ("portfolio-2", ("fcfs", "sjf"), None),
+                ("portfolio-5", ("fcfs", "sjf", "ljf", "backfill",
+                                 "fair-share"), None),
+                ("portfolio-5-active-2", ("fcfs", "sjf", "ljf", "backfill",
+                                          "fair-share"), 2)]:
+            config = PortfolioConfig(active_set_size=active)
+            metrics, stats = run_portfolio(
+                "scientific", "G+CD", policy_names=policies, seed=902,
+                n_jobs=25, config=config)
+            results[label] = (metrics, stats)
+        return results
+
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    rows = [[label, f"{metrics.objective():.2f}",
+             stats.simulated_policy_epochs,
+             f"{stats.total_sim_cost_s:.1f} s"]
+            for label, (metrics, stats) in results.items()]
+    report("tab9_online_cost",
+           "Table 9 [114,115]: online simulation cost vs active set",
+           table(["configuration", "mean slowdown",
+                  "policy simulations", "modeled sim cost"], rows))
+    cost2 = results["portfolio-2"][1].total_sim_cost_s
+    cost5 = results["portfolio-5"][1].total_sim_cost_s
+    cost_active = results["portfolio-5-active-2"][1].total_sim_cost_s
+    assert cost5 > cost2             # cost grows with the portfolio
+    assert cost_active < cost5      # the active set bounds it
+    # Quality with the active set stays close to the full portfolio.
+    q5 = results["portfolio-5"][0].objective()
+    q_active = results["portfolio-5-active-2"][0].objective()
+    assert q_active <= q5 * 1.5
+
+
+def bench_tab9_learning_vs_simulation(benchmark, report, table):
+    """[119] Ananke ablation: learned selection vs simulation-based
+    selection — the learner pays a learning period instead of per-epoch
+    simulation cost."""
+    from repro.cluster import Cluster
+    from repro.scheduling import (
+        ClusterSimulator,
+        FCFSPolicy,
+        LJFPolicy,
+        LearningPortfolioScheduler,
+        PortfolioConfig,
+        PortfolioScheduler,
+        SJFPolicy,
+    )
+    from repro.sim import Environment, RandomStreams
+    from repro.workload import BagOfTasks, Task
+
+    def mixed_bag(submit):
+        tasks = [Task(work=400.0)] + [Task(work=20.0) for _ in range(6)]
+        for t in tasks:
+            t.runtime_estimate = t.work
+        return BagOfTasks(tasks, submit_time=submit)
+
+    def run_both():
+        results = {}
+        for label in ("simulation", "learning"):
+            env = Environment()
+            sim = ClusterSimulator(env, Cluster.homogeneous("c", 1,
+                                                            cores=2),
+                                   FCFSPolicy())
+            policies = [FCFSPolicy(), SJFPolicy(), LJFPolicy()]
+            if label == "simulation":
+                selector = PortfolioScheduler(
+                    env, sim, policies,
+                    PortfolioConfig(decision_interval_s=100.0))
+                sim_cost = lambda: selector.stats.total_sim_cost_s
+            else:
+                selector = LearningPortfolioScheduler(
+                    env, sim, policies, epoch_s=100.0,
+                    rng=RandomStreams(11).get("bandit"))
+                sim_cost = lambda: 0.0
+            sim.submit_jobs([mixed_bag(i * 400.0) for i in range(25)])
+            env.run()
+            results[label] = (sim.metrics(), sim_cost(),
+                              getattr(selector.stats, "switches", 0))
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [[label, f"{m.mean_bounded_slowdown:.2f}",
+             f"{cost:.1f} s", switches]
+            for label, (m, cost, switches) in results.items()]
+    report("tab9_learning",
+           "Table 9 [119]: learning vs simulation-based selection",
+           table(["selector", "mean slowdown", "simulation cost",
+                  "switches"], rows))
+    sim_metrics, sim_cost, _ = results["simulation"]
+    learn_metrics, learn_cost, _ = results["learning"]
+    assert learn_cost == 0.0
+    assert sim_cost > 0.0
+    # The learner ends up within 2x of the simulation-based selector.
+    assert learn_metrics.mean_bounded_slowdown < (
+        2.0 * sim_metrics.mean_bounded_slowdown)

@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures; the
+regenerated rows/series are written to ``benchmarks/results/<id>.md`` (and
+echoed to stdout, visible with ``pytest -s``) so EXPERIMENTS.md can quote
+them. The ``benchmark`` fixture times a representative kernel of each
+experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, title: str, lines: list[str]) -> Path:
+    """Persist a regenerated table/figure as markdown."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.md"
+    content = f"# {title}\n\n" + "\n".join(lines) + "\n"
+    path.write_text(content)
+    print(f"\n--- {title} ---")
+    print("\n".join(lines))
+    return path
+
+
+def markdown_table(headers: list[str], rows: list[list]) -> list[str]:
+    """Simple markdown table renderer."""
+    out = ["| " + " | ".join(str(h) for h in headers) + " |",
+           "|" + "---|" * len(headers)]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return out
+
+
+@pytest.fixture(scope="session")
+def report():
+    return write_report
+
+
+@pytest.fixture(scope="session")
+def table():
+    return markdown_table

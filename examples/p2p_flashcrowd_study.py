@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A BTWorld-style P2P measurement study (paper §6.1).
+
+Simulates a BitTorrent swarm hit by a flashcrowd, observes it through the
+global monitor at two sampling configurations, and reports the phenomena
+of Table 5: the flashcrowd itself, the download-time degradation it
+causes, the ecosystem's bandwidth asymmetry, and the instrument's
+sampling bias — plus the 2fast fix for asymmetric links.
+
+Run:  python examples/p2p_flashcrowd_study.py
+"""
+
+from repro.p2p import (
+    BTWorldMonitor,
+    ContentDescriptor,
+    Swarm,
+    SwarmConfig,
+    Tracker,
+    bandwidth_asymmetry,
+    bias_study,
+    detect_flashcrowds,
+    run_2fast_experiment,
+)
+from repro.p2p.analytics import mean_download_slowdown_during
+from repro.sim import Environment, RandomStreams
+from repro.workload.arrivals import FlashcrowdArrivals
+
+
+def main():
+    streams = RandomStreams(seed=77)
+    burst_at = 3600.0
+    config = SwarmConfig(
+        content=ContentDescriptor("big-release", "x264-720p", 60.0),
+        peer_mix=(("adsl", 0.8), ("cable", 0.15), ("symmetric", 0.05)),
+        initial_seeds=2, seed_class="adsl",
+        horizon_s=10 * 3600, seed_linger_s=600.0)
+    arrivals = FlashcrowdArrivals(
+        base_rate=1 / 300.0, rng=streams.get("arrivals"),
+        burst_times=[burst_at], burst_factor=50, burst_decay_s=1500)
+
+    env = Environment()
+    tracker = Tracker("main-tracker")
+    swarm = Swarm(env, config, tracker, streams.get("swarm"), arrivals)
+    monitor = BTWorldMonitor(env, [tracker], interval_s=300)
+    env.run(until=config.horizon_s)
+    result = swarm.result()
+
+    print(f"peers: {len(result.peers)}, completed downloads: "
+          f"{len(result.completed)}")
+    print(f"peak swarm size: {result.peak_swarm_size()}")
+
+    asym = bandwidth_asymmetry(result.peers)
+    print(f"ecosystem down/up capacity ratio: "
+          f"{asym['capacity_ratio']:.1f} "
+          f"({asym['asymmetric_fraction']:.0%} asymmetric peers)")
+
+    arrival_times = [p.arrival_time for p in result.peers
+                     if p.arrival_time >= 0]
+    episodes = detect_flashcrowds(arrival_times, window_s=600, threshold=5)
+    for ep in episodes:
+        print(f"flashcrowd: t={ep.start:.0f}..{ep.end:.0f} s, "
+              f"{ep.magnitude:.0f}x the baseline arrival rate")
+    slowdown = mean_download_slowdown_during(result, burst_at,
+                                             burst_at + 2400)
+    print(f"download-time degradation during the flashcrowd: "
+          f"{slowdown:.2f}x")
+
+    # Instrument bias: what would a slower, partial monitor have seen?
+    times, sizes = result.monitor["swarm_size"].as_arrays()
+    for rep in bias_study(times, sizes, intervals_s=[300, 7200],
+                          coverages=[1.0, 0.3]):
+        print(f"monitor interval={rep.interval_s:>6.0f}s "
+              f"coverage={rep.coverage:.0%}: observed peak "
+              f"{rep.observed_peak:.0f} (bias {rep.peak_bias:+.0%})")
+
+    # The 2fast answer to asymmetric links.
+    twofast = run_2fast_experiment(content_size_mb=60.0,
+                                   peer_class_name="adsl", max_helpers=8)
+    print(f"2fast with 4 helpers: {twofast.speedup(4):.1f}x faster than "
+          f"solo (saturates at ~{twofast.saturation_helpers} helpers)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""AtLarge reproduction: executable systems behind the ATLARGE design vision.
+
+This library reproduces, as working Python systems, the artifacts of
+*The AtLarge Vision on the Design of Distributed Systems and Ecosystems*
+(Iosup et al., ICDCS 2019):
+
+- ``repro.sim`` — a from-scratch discrete-event simulation kernel;
+- ``repro.cluster`` / ``repro.workload`` — datacenter and workload substrates;
+- ``repro.core`` — the ATLARGE design framework, executable (design spaces,
+  exploration processes, the Basic Design Cycle, catalogs of principles,
+  challenges, and problem archetypes);
+- ``repro.refarch`` — the evolving datacenter reference architecture (Fig. 9);
+- ``repro.p2p`` / ``repro.mmog`` / ``repro.serverless`` /
+  ``repro.graphalytics`` / ``repro.scheduling`` / ``repro.autoscaling`` —
+  the seven experiment domains of Section 6;
+- ``repro.bibliometrics`` — the meta-scientific evidence of Figures 1–3.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for paper-versus-
+measured results for every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "cluster",
+    "workload",
+    "core",
+    "refarch",
+    "p2p",
+    "mmog",
+    "serverless",
+    "graphalytics",
+    "scheduling",
+    "autoscaling",
+    "bibliometrics",
+]

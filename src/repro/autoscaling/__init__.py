@@ -1,0 +1,61 @@
+"""Autoscaling experiments (paper §6.7; [126], [127], [128]).
+
+- :mod:`repro.autoscaling.autoscalers` — the experiment's autoscaler
+  roster: five general autoscalers (React, Adapt, Hist, Reg, ConPaaS) and
+  two workflow-aware ones (Plan, Token);
+- :mod:`repro.autoscaling.metrics` — the ten elasticity metrics (after
+  Herbst et al. [37]) plus traditional performance and cost metrics;
+- :mod:`repro.autoscaling.experiment` — the in-silico experiment: replay
+  workflow workloads against an autoscaled resource pool with
+  provisioning delays, deadline SLAs, and cost models;
+- :mod:`repro.autoscaling.ranking` — the two head-to-head ranking methods
+  and the combined grading of [127].
+"""
+
+from repro.autoscaling.autoscalers import (
+    AUTOSCALERS,
+    Adapt,
+    Autoscaler,
+    ConPaaS,
+    Hist,
+    Plan,
+    React,
+    Reg,
+    Token,
+    make_autoscaler,
+)
+from repro.autoscaling.metrics import (
+    ELASTICITY_METRIC_NAMES,
+    elasticity_metrics,
+)
+from repro.autoscaling.experiment import (
+    AutoscalingResult,
+    ExperimentConfig,
+    run_autoscaling_experiment,
+)
+from repro.autoscaling.ranking import (
+    fractional_scores,
+    grade_autoscalers,
+    pairwise_wins,
+)
+
+__all__ = [
+    "AUTOSCALERS",
+    "Adapt",
+    "Autoscaler",
+    "AutoscalingResult",
+    "ConPaaS",
+    "ELASTICITY_METRIC_NAMES",
+    "ExperimentConfig",
+    "Hist",
+    "Plan",
+    "React",
+    "Reg",
+    "Token",
+    "elasticity_metrics",
+    "fractional_scores",
+    "grade_autoscalers",
+    "make_autoscaler",
+    "pairwise_wins",
+    "run_autoscaling_experiment",
+]

@@ -1,0 +1,204 @@
+"""The autoscaler roster of the [126]/[127] experiments.
+
+General autoscalers see only the demand history (they were designed for
+request-serving systems); workflow-aware autoscalers additionally see the
+structure of queued workflows — the paper's morphological dimension.
+
+Every autoscaler answers one question each interval: *how many resources
+(cores) should be supplied next?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class Autoscaler:
+    """Base class."""
+
+    name = "abstract"
+    #: Workflow-aware autoscalers receive workflow state (see
+    #: :meth:`decide`'s ``workflow_view``).
+    workflow_aware = False
+
+    def decide(self, demand_history: Sequence[float], current_supply: float,
+               workflow_view: Optional["WorkflowView"] = None) -> float:
+        """Target supply (cores) for the next interval."""
+        raise NotImplementedError
+
+
+@dataclass
+class WorkflowView:
+    """What workflow-aware autoscalers see: near-future parallelism.
+
+    ``running_cores``: cores used right now; ``eligible_cores``: cores
+    demanded by tasks eligible to start now; ``next_level_cores``: cores
+    of tasks one dependency-level away (unlock within the lookahead);
+    ``remaining_estimates``: per-running-task estimated remaining time.
+    """
+
+    running_cores: float
+    eligible_cores: float
+    next_level_cores: float
+    remaining_estimates: list[float] = field(default_factory=list)
+
+
+class React(Autoscaler):
+    """Purely reactive: supply what is demanded right now."""
+
+    name = "react"
+
+    def decide(self, demand_history, current_supply, workflow_view=None):
+        return float(demand_history[-1]) if len(demand_history) else 0.0
+
+
+class Adapt(Autoscaler):
+    """Gradual adaptation: move a fraction of the gap each interval,
+    with hysteresis against small oscillations."""
+
+    name = "adapt"
+
+    def __init__(self, gain: float = 0.5, deadband: float = 0.1):
+        if not 0 < gain <= 1:
+            raise ValueError("gain must be in (0, 1]")
+        self.gain = gain
+        self.deadband = deadband
+
+    def decide(self, demand_history, current_supply, workflow_view=None):
+        if not len(demand_history):
+            return current_supply
+        demand = float(demand_history[-1])
+        gap = demand - current_supply
+        if abs(gap) <= self.deadband * max(current_supply, 1.0):
+            return current_supply
+        return max(0.0, current_supply + self.gain * gap)
+
+
+class Hist(Autoscaler):
+    """Histogram-based: supply a high percentile of the demand seen at
+    this position of the (daily) cycle in previous periods."""
+
+    name = "hist"
+
+    def __init__(self, period_steps: int = 288, percentile: float = 90.0):
+        if period_steps < 1:
+            raise ValueError("period_steps must be >= 1")
+        self.period_steps = period_steps
+        self.percentile = percentile
+
+    def decide(self, demand_history, current_supply, workflow_view=None):
+        n = len(demand_history)
+        if n == 0:
+            return 0.0
+        phase = n % self.period_steps
+        same_phase = [demand_history[i] for i in range(phase, n,
+                                                       self.period_steps)]
+        if not same_phase:
+            same_phase = list(demand_history)
+        return float(np.percentile(same_phase, self.percentile))
+
+
+class Reg(Autoscaler):
+    """Regression-based: linear fit over a recent window, extrapolated
+    one provisioning delay ahead."""
+
+    name = "reg"
+
+    def __init__(self, window: int = 12, horizon: int = 2):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self.horizon = horizon
+
+    def decide(self, demand_history, current_supply, workflow_view=None):
+        hist = list(demand_history)
+        if len(hist) < 2:
+            return float(hist[-1]) if hist else 0.0
+        tail = np.asarray(hist[-self.window:], dtype=float)
+        x = np.arange(tail.size)
+        slope, intercept = np.polyfit(x, tail, 1)
+        return float(max(0.0, intercept + slope * (tail.size - 1
+                                                   + self.horizon)))
+
+
+class ConPaaS(Autoscaler):
+    """ConPaaS-style: provision a high percentile of recent demand (a
+    safety margin against short spikes)."""
+
+    name = "conpaas"
+
+    def __init__(self, window: int = 24, percentile: float = 85.0):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.percentile = percentile
+
+    def decide(self, demand_history, current_supply, workflow_view=None):
+        hist = list(demand_history)
+        if not hist:
+            return 0.0
+        tail = hist[-self.window:]
+        return float(np.percentile(tail, self.percentile))
+
+
+class Plan(Autoscaler):
+    """Workflow-aware planner: supplies eligible work plus the work that
+    the plan says unlocks within the lookahead ([126]'s Plan)."""
+
+    name = "plan"
+    workflow_aware = True
+
+    def __init__(self, lookahead_weight: float = 1.0):
+        if lookahead_weight < 0:
+            raise ValueError("lookahead_weight must be >= 0")
+        self.lookahead_weight = lookahead_weight
+
+    def decide(self, demand_history, current_supply, workflow_view=None):
+        if workflow_view is None:
+            raise ValueError("Plan requires a workflow view")
+        return float(workflow_view.running_cores
+                     + workflow_view.eligible_cores
+                     + self.lookahead_weight
+                     * workflow_view.next_level_cores)
+
+
+class Token(Autoscaler):
+    """Workflow-aware token propagation: supplies for the tasks that
+    tokens (one per workflow) can reach within the lookahead — a cheaper,
+    more conservative structure estimate than Plan ([126]'s Token)."""
+
+    name = "token"
+    workflow_aware = True
+
+    def __init__(self, token_depth: float = 0.5):
+        if not 0 <= token_depth <= 1:
+            raise ValueError("token_depth must be in [0, 1]")
+        self.token_depth = token_depth
+
+    def decide(self, demand_history, current_supply, workflow_view=None):
+        if workflow_view is None:
+            raise ValueError("Token requires a workflow view")
+        return float(workflow_view.running_cores
+                     + workflow_view.eligible_cores
+                     + self.token_depth * workflow_view.next_level_cores)
+
+
+AUTOSCALERS: dict[str, type] = {
+    "react": React,
+    "adapt": Adapt,
+    "hist": Hist,
+    "reg": Reg,
+    "conpaas": ConPaaS,
+    "plan": Plan,
+    "token": Token,
+}
+
+
+def make_autoscaler(name: str, **kwargs) -> Autoscaler:
+    if name not in AUTOSCALERS:
+        raise KeyError(f"unknown autoscaler {name!r}; known: "
+                       f"{sorted(AUTOSCALERS)}")
+    return AUTOSCALERS[name](**kwargs)

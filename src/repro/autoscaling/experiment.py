@@ -1,0 +1,232 @@
+"""The in-silico autoscaling experiment ([128]).
+
+A time-stepped replay: workflows arrive, eligible tasks run on the
+currently supplied cores, and the autoscaler picks the next supply level
+each step. Supply follows decisions only after a provisioning delay, and
+can never drop below the cores of still-running tasks (no preemption).
+
+The result carries everything §6.7's analysis needs: the demand/supply
+series (for the ten elasticity metrics), per-workflow makespans and
+deadline-SLA violations, and cost under continuous and hourly billing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autoscaling.autoscalers import Autoscaler, WorkflowView
+from repro.autoscaling.metrics import elasticity_metrics
+from repro.cluster.cost import CostModel, ON_DEMAND_PRICING
+from repro.workload.task import Task, TaskState, Workflow
+
+
+@dataclass
+class ExperimentConfig:
+    step_s: float = 30.0
+    provisioning_delay_steps: int = 2
+    max_supply: float = 512.0
+    cost_model: CostModel = ON_DEMAND_PRICING
+    #: Deadline per workflow: submit + factor × critical-path work.
+    deadline_factor: float = 3.0
+    max_steps: int = 200_000
+
+    def __post_init__(self):
+        if self.step_s <= 0:
+            raise ValueError("step_s must be positive")
+        if self.provisioning_delay_steps < 0:
+            raise ValueError("provisioning_delay_steps must be >= 0")
+
+
+@dataclass
+class AutoscalingResult:
+    autoscaler: str
+    times: np.ndarray
+    demand: np.ndarray
+    supply: np.ndarray
+    workflow_makespans: dict[int, float]
+    deadlines: dict[int, float]
+    deadline_violations: int
+    resource_seconds: float
+    cost_continuous: float
+    cost_hourly: float
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_workflows(self) -> int:
+        return len(self.workflow_makespans)
+
+    @property
+    def sla_violation_rate(self) -> float:
+        if not self.deadlines:
+            return 0.0
+        return self.deadline_violations / len(self.deadlines)
+
+    @property
+    def mean_makespan(self) -> float:
+        if not self.workflow_makespans:
+            return float("nan")
+        return float(np.mean(list(self.workflow_makespans.values())))
+
+
+class _RunningTask:
+    __slots__ = ("task", "remaining")
+
+    def __init__(self, task: Task, remaining: float):
+        self.task = task
+        self.remaining = remaining
+
+
+def run_autoscaling_experiment(workflows: Sequence[Workflow],
+                               autoscaler: Autoscaler,
+                               config: Optional[ExperimentConfig] = None
+                               ) -> AutoscalingResult:
+    """Replay the workload under one autoscaler."""
+    config = config or ExperimentConfig()
+    if not workflows:
+        raise ValueError("no workflows to run")
+    workflows = sorted(workflows, key=lambda w: w.submit_time)
+    deadlines = {
+        wf.job_id: wf.submit_time
+        + config.deadline_factor * wf.critical_path_work()
+        for wf in workflows
+    }
+
+    t = workflows[0].submit_time
+    step = config.step_s
+    arrived: list[Workflow] = []
+    next_arrival = 0
+    running: list[_RunningTask] = []
+    demand_series: list[float] = []
+    supply_series: list[float] = []
+    times: list[float] = []
+    demand_history: list[float] = []
+    supply = 0.0
+    pending: list[tuple[int, float]] = []  # (effective step, target)
+    finished_wf: dict[int, float] = {}
+
+    for step_idx in range(config.max_steps):
+        # Arrivals.
+        while (next_arrival < len(workflows)
+               and workflows[next_arrival].submit_time <= t):
+            arrived.append(workflows[next_arrival])
+            next_arrival += 1
+
+        # Apply matured provisioning decisions.
+        for at, target in list(pending):
+            if at <= step_idx:
+                supply = target
+                pending.remove((at, target))
+
+        running_cores = sum(r.task.cores for r in running)
+        supply = max(supply, float(running_cores))  # no preemption
+
+        # Start eligible tasks within the supply.
+        eligible: list[tuple[Workflow, Task]] = []
+        for wf in arrived:
+            if wf.job_id in finished_wf:
+                continue
+            for task in wf.ready_tasks():
+                eligible.append((wf, task))
+        eligible.sort(key=lambda pair: (pair[0].submit_time,
+                                        pair[1].task_id))
+        for wf, task in eligible:
+            if running_cores + task.cores > supply:
+                continue
+            task.state = TaskState.RUNNING
+            task.start_time = t
+            running.append(_RunningTask(task, task.work))
+            running_cores += task.cores
+
+        eligible_cores = sum(
+            task.cores for wf, task in eligible
+            if task.state is TaskState.PENDING)
+        demand = running_cores + eligible_cores
+        demand_series.append(demand)
+        supply_series.append(supply)
+        times.append(t)
+        demand_history.append(demand)
+
+        # Progress running tasks.
+        still_running: list[_RunningTask] = []
+        for r in running:
+            r.remaining -= step
+            if r.remaining <= 1e-9:
+                r.task.state = TaskState.DONE
+                r.task.finish_time = t + step
+            else:
+                still_running.append(r)
+        running = still_running
+
+        # Completion bookkeeping.
+        for wf in arrived:
+            if wf.job_id not in finished_wf and wf.done:
+                finished_wf[wf.job_id] = (
+                    max(task.finish_time for task in wf.tasks)
+                    - wf.submit_time)
+
+        if (next_arrival >= len(workflows)
+                and len(finished_wf) == len(workflows)):
+            break
+
+        # Autoscaler decision for the next interval.
+        view = None
+        if autoscaler.workflow_aware:
+            next_level = 0.0
+            for wf in arrived:
+                if wf.job_id in finished_wf:
+                    continue
+                for task in wf.tasks:
+                    if task.state is not TaskState.PENDING:
+                        continue
+                    preds = wf.predecessors(task)
+                    if preds and all(
+                            p.state in (TaskState.DONE, TaskState.RUNNING)
+                            for p in preds) and any(
+                            p.state is TaskState.RUNNING for p in preds):
+                        next_level += task.cores
+            view = WorkflowView(
+                running_cores=float(sum(r.task.cores for r in running)),
+                eligible_cores=float(sum(
+                    task.cores for wf in arrived
+                    if wf.job_id not in finished_wf
+                    for task in wf.ready_tasks())),
+                next_level_cores=next_level,
+                remaining_estimates=[r.remaining for r in running])
+        target = autoscaler.decide(demand_history, supply, view)
+        target = float(np.clip(math.ceil(target), 0.0, config.max_supply))
+        pending.append((step_idx + 1 + config.provisioning_delay_steps,
+                        target))
+        t += step
+    else:
+        raise RuntimeError(
+            f"experiment did not finish within {config.max_steps} steps "
+            f"({len(finished_wf)}/{len(workflows)} workflows done) — "
+            "supply may be starved")
+
+    demand_arr = np.asarray(demand_series)
+    supply_arr = np.asarray(supply_series)
+    resource_seconds = float(supply_arr.sum() * step)
+    violations = sum(
+        1 for job_id, makespan in finished_wf.items()
+        if (next(w for w in workflows if w.job_id == job_id).submit_time
+            + makespan) > deadlines[job_id] + 1e-9)
+    price = config.cost_model.price_per_hour
+    cost_continuous = resource_seconds / 3600.0 * price
+    cost_hourly = math.ceil(resource_seconds / 3600.0) * price
+    return AutoscalingResult(
+        autoscaler=autoscaler.name,
+        times=np.asarray(times),
+        demand=demand_arr,
+        supply=supply_arr,
+        workflow_makespans=finished_wf,
+        deadlines=deadlines,
+        deadline_violations=violations,
+        resource_seconds=resource_seconds,
+        cost_continuous=cost_continuous,
+        cost_hourly=cost_hourly,
+        metrics=elasticity_metrics(demand_arr, supply_arr),
+    )

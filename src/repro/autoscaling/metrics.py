@@ -1,0 +1,84 @@
+"""The ten elasticity metrics (after Herbst et al., the paper's [37]).
+
+All metrics are computed from paired (demand, supply) series sampled on a
+regular grid. Lower is better for every metric except ``avg_utilization``.
+
+1.  ``accuracy_under`` (U): average under-provisioned resources,
+    normalized by average demand;
+2.  ``accuracy_over`` (O): average over-provisioned resources, normalized;
+3.  ``timeshare_under`` (T_U): fraction of time under-provisioned;
+4.  ``timeshare_over`` (T_O): fraction of time over-provisioned;
+5.  ``instability``: fraction of steps where supply changes direction
+    relative to demand (supply and demand moving opposite ways);
+6.  ``jitter``: net supply adaptations per step (how twitchy);
+7.  ``avg_supply``: mean supplied resources (raw capacity footprint);
+8.  ``avg_utilization``: mean demand/supply where supply > 0
+    (higher is better);
+9.  ``under_volume``: total under-provisioned resource-steps (the raw
+    degraded-performance mass);
+10. ``over_volume``: total over-provisioned resource-steps (the raw
+    wasted-capacity mass).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+ELASTICITY_METRIC_NAMES: tuple[str, ...] = (
+    "accuracy_under", "accuracy_over", "timeshare_under", "timeshare_over",
+    "instability", "jitter", "avg_supply", "avg_utilization",
+    "under_volume", "over_volume",
+)
+
+#: Metrics where higher values are better.
+HIGHER_IS_BETTER: frozenset[str] = frozenset({"avg_utilization"})
+
+
+def elasticity_metrics(demand: Sequence[float],
+                       supply: Sequence[float]) -> dict[str, float]:
+    """Compute all ten metrics for one experiment."""
+    demand_arr = np.asarray(demand, dtype=float)
+    supply_arr = np.asarray(supply, dtype=float)
+    if demand_arr.shape != supply_arr.shape or demand_arr.size == 0:
+        raise ValueError("demand and supply must be equal-length, non-empty")
+    n = demand_arr.size
+    under = np.maximum(demand_arr - supply_arr, 0.0)
+    over = np.maximum(supply_arr - demand_arr, 0.0)
+    mean_demand = max(demand_arr.mean(), 1e-9)
+
+    d_supply = np.diff(supply_arr)
+    d_demand = np.diff(demand_arr)
+    opposite = np.sign(d_supply) * np.sign(d_demand) < 0
+    instability = float(np.mean(opposite)) if d_supply.size else 0.0
+    jitter = float(np.mean(np.abs(np.sign(d_supply)))) if d_supply.size \
+        else 0.0
+
+    positive_supply = supply_arr > 0
+    if positive_supply.any():
+        utilization = np.minimum(
+            demand_arr[positive_supply] / supply_arr[positive_supply], 1.0)
+        avg_utilization = float(utilization.mean())
+    else:
+        avg_utilization = 0.0
+
+    return {
+        "accuracy_under": float(under.mean() / mean_demand),
+        "accuracy_over": float(over.mean() / mean_demand),
+        "timeshare_under": float(np.mean(under > 1e-9)),
+        "timeshare_over": float(np.mean(over > 1e-9)),
+        "instability": instability,
+        "jitter": jitter,
+        "avg_supply": float(supply_arr.mean()),
+        "avg_utilization": avg_utilization,
+        "under_volume": float(under.sum()),
+        "over_volume": float(over.sum()),
+    }
+
+
+def metric_is_better(name: str, a: float, b: float) -> bool:
+    """Whether value ``a`` beats value ``b`` on metric ``name``."""
+    if name in HIGHER_IS_BETTER:
+        return a > b
+    return a < b

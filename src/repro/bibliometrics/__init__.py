@@ -1,0 +1,47 @@
+"""Meta-scientific evidence (paper §2, Figures 1–3).
+
+The paper's first evidence class is bibliometric: keyword presence in top
+venues (Fig. 1), counts of design articles per 5-year block since 1980
+(Fig. 2), and distributions of review scores for design vs. non-design
+submissions at an anonymized A-ranked conference (Fig. 3).
+
+The real corpora are proprietary (DBLP scrapes, confidential review
+data); this package substitutes calibrated synthetic corpora — the
+analysis code is identical to what the real data would need, and the
+generators are calibrated to the trends the paper reports (see
+DESIGN.md's substitution table).
+"""
+
+from repro.bibliometrics.corpus import (
+    Paper,
+    VENUES,
+    Venue,
+    generate_corpus,
+)
+from repro.bibliometrics.keywords import keyword_presence
+from repro.bibliometrics.trends import (
+    FiveYearBlock,
+    design_articles_per_block,
+)
+from repro.bibliometrics.reviews import (
+    Review,
+    ReviewedPaper,
+    generate_review_corpus,
+    review_score_distributions,
+    score_findings,
+)
+
+__all__ = [
+    "FiveYearBlock",
+    "Paper",
+    "Review",
+    "ReviewedPaper",
+    "VENUES",
+    "Venue",
+    "design_articles_per_block",
+    "generate_corpus",
+    "generate_review_corpus",
+    "keyword_presence",
+    "review_score_distributions",
+    "score_findings",
+]

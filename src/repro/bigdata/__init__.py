@@ -1,0 +1,48 @@
+"""Big data processing on the datacenter substrate (paper §6.3 and §2.5).
+
+Three systems the paper names around its Digital Factory narrative:
+
+- :mod:`repro.bigdata.mapreduce` — a phase-level MapReduce execution
+  engine: map (CPU + disk read), shuffle (network), reduce (CPU + disk
+  write), with stragglers and proportional-share resource contention;
+- :mod:`repro.bigdata.vicissitude` — the *vicissitude* phenomenon
+  ([38]): under concurrent pipelines, "several known bottlenecks appear
+  seemingly at random in various parts of the system" — detected here as
+  the instantaneous bottleneck resource wandering across resource
+  classes;
+- :mod:`repro.bigdata.fawkes` — Fawkes-style balanced resource
+  allocation across multiple dynamic MapReduce clusters ([94]): machines
+  migrate between logical clusters to equalize weighted demand.
+"""
+
+from repro.bigdata.mapreduce import (
+    MRCluster,
+    MRJob,
+    MRPhase,
+    MRSimulator,
+    PhaseDemand,
+)
+from repro.bigdata.vicissitude import (
+    BottleneckTrace,
+    detect_vicissitude,
+    run_vicissitude_experiment,
+)
+from repro.bigdata.fawkes import (
+    FawkesAllocator,
+    StaticAllocator,
+    run_fawkes_experiment,
+)
+
+__all__ = [
+    "BottleneckTrace",
+    "FawkesAllocator",
+    "MRCluster",
+    "MRJob",
+    "MRPhase",
+    "MRSimulator",
+    "PhaseDemand",
+    "StaticAllocator",
+    "detect_vicissitude",
+    "run_fawkes_experiment",
+    "run_vicissitude_experiment",
+]

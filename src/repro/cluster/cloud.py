@@ -1,0 +1,168 @@
+"""An IaaS cloud: VM provisioning with delays and billing.
+
+This is the "elastic, by credit-card" substrate the paper's MMOG and
+autoscaling work runs on: resources arrive only after a provisioning delay,
+and every provisioned interval is billed under a :class:`CostModel`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+from repro.cluster.cost import CostModel, ON_DEMAND_PRICING
+from repro.cluster.machine import Machine
+from repro.sim import Environment
+
+
+class VMState(enum.Enum):
+    REQUESTED = "requested"
+    BOOTING = "booting"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+class BillingModel(enum.Enum):
+    ON_DEMAND = "on-demand"
+    RESERVED = "reserved"
+
+
+@dataclass
+class VM:
+    """A virtual machine instance with its lifetime bookkeeping."""
+
+    vm_id: int
+    machine: Machine
+    state: VMState = VMState.REQUESTED
+    requested_at: float = 0.0
+    running_at: Optional[float] = None
+    terminated_at: Optional[float] = None
+    billing: BillingModel = BillingModel.ON_DEMAND
+
+    @property
+    def billable_interval(self) -> Optional[tuple[float, float]]:
+        """(start, stop) of the billed period; clouds bill from request."""
+        if self.terminated_at is None:
+            return None
+        return (self.requested_at, self.terminated_at)
+
+
+class Cloud:
+    """An infinite-capacity (or capped) IaaS provider.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    provisioning_delay_s:
+        Time from request to RUNNING (VM boot + image fetch); the paper's
+        autoscaling experiments show this delay dominates elasticity.
+    cost_model:
+        Pricing applied to every instance.
+    capacity:
+        Maximum concurrent instances (None = unbounded, the usual cloud
+        illusion).
+    """
+
+    def __init__(self, env: Environment,
+                 provisioning_delay_s: float = 60.0,
+                 deprovisioning_delay_s: float = 10.0,
+                 cost_model: CostModel = ON_DEMAND_PRICING,
+                 capacity: Optional[int] = None,
+                 cores_per_vm: int = 4,
+                 speed: float = 1.0):
+        self.env = env
+        self.provisioning_delay_s = provisioning_delay_s
+        self.deprovisioning_delay_s = deprovisioning_delay_s
+        self.cost_model = cost_model
+        self.capacity = capacity
+        self.cores_per_vm = cores_per_vm
+        self.speed = speed
+        self._ids = count()
+        self.vms: dict[int, VM] = {}
+        #: Completed billing intervals of terminated VMs.
+        self.billed_intervals: list[tuple[float, float]] = []
+
+    # -- queries -------------------------------------------------------------
+    def running_vms(self) -> list[VM]:
+        return [vm for vm in self.vms.values() if vm.state is VMState.RUNNING]
+
+    def pending_vms(self) -> list[VM]:
+        return [vm for vm in self.vms.values()
+                if vm.state in (VMState.REQUESTED, VMState.BOOTING)]
+
+    @property
+    def active_count(self) -> int:
+        return len(self.running_vms()) + len(self.pending_vms())
+
+    def running_cores(self) -> int:
+        return sum(vm.machine.cores for vm in self.running_vms())
+
+    # -- lifecycle -------------------------------------------------------------
+    def provision(self) -> "ProvisionRequest":
+        """Request one VM; returns an object whose ``.event`` fires RUNNING.
+
+        Use from a process::
+
+            req = cloud.provision()
+            vm = yield req.event
+        """
+        if self.capacity is not None and self.active_count >= self.capacity:
+            raise CapacityError(
+                f"cloud at capacity ({self.capacity} instances)")
+        vm = VM(
+            vm_id=next(self._ids),
+            machine=Machine(
+                name=f"vm-{len(self.vms)}", cores=self.cores_per_vm,
+                speed=self.speed),
+            requested_at=self.env.now,
+        )
+        self.vms[vm.vm_id] = vm
+        done = self.env.event()
+        self.env.process(self._boot(vm, done))
+        return ProvisionRequest(vm=vm, event=done)
+
+    def _boot(self, vm: VM, done):
+        vm.state = VMState.BOOTING
+        yield self.env.timeout(self.provisioning_delay_s)
+        if vm.state is VMState.TERMINATED:
+            # Terminated while booting; billing interval already recorded.
+            done.succeed(vm)
+            return
+        vm.state = VMState.RUNNING
+        vm.running_at = self.env.now
+        done.succeed(vm)
+
+    def terminate(self, vm: VM) -> None:
+        """Terminate an instance (idempotent)."""
+        if vm.state is VMState.TERMINATED:
+            return
+        if vm.machine.used_cores:
+            raise RuntimeError(
+                f"terminating VM {vm.vm_id} with {vm.machine.used_cores} "
+                "cores still allocated")
+        vm.state = VMState.TERMINATED
+        vm.terminated_at = self.env.now + self.deprovisioning_delay_s
+        self.billed_intervals.append(vm.billable_interval)
+
+    # -- billing -------------------------------------------------------------
+    def total_cost(self, until: Optional[float] = None) -> float:
+        """Accumulated cost: closed intervals plus still-open instances."""
+        now = until if until is not None else self.env.now
+        cost = self.cost_model.charge_intervals(self.billed_intervals)
+        for vm in self.vms.values():
+            if vm.state is not VMState.TERMINATED:
+                cost += self.cost_model.charge(now - vm.requested_at)
+        return cost
+
+
+@dataclass
+class ProvisionRequest:
+    vm: VM
+    event: object  # repro.sim Event that fires with the VM when RUNNING
+
+
+class CapacityError(RuntimeError):
+    """Raised when a capped cloud cannot take another instance."""

@@ -1,0 +1,77 @@
+"""Failure injection: machines fail and recover over simulated time.
+
+Availability is one of the paper's first-class non-functional requirements
+(P3); experiments use this injector to test designs under churn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import Machine, MachineState
+from repro.sim import Environment, Monitor
+
+
+class FailureInjector:
+    """Fails and repairs machines of a cluster with exponential holding times.
+
+    Parameters
+    ----------
+    mtbf_s:
+        Mean time between failures per machine.
+    mttr_s:
+        Mean time to repair.
+    on_failure:
+        Optional callback invoked as ``on_failure(machine)`` when a machine
+        goes down — schedulers use it to requeue the victim's tasks.
+    """
+
+    def __init__(self, env: Environment, cluster: Cluster,
+                 rng: np.random.Generator,
+                 mtbf_s: float = 24 * 3600.0, mttr_s: float = 600.0,
+                 on_failure: Optional[Callable[[Machine], None]] = None,
+                 monitor: Optional[Monitor] = None):
+        if mtbf_s <= 0 or mttr_s <= 0:
+            raise ValueError("mtbf_s and mttr_s must be positive")
+        self.env = env
+        self.cluster = cluster
+        self.rng = rng
+        self.mtbf_s = mtbf_s
+        self.mttr_s = mttr_s
+        self.on_failure = on_failure
+        self.monitor = monitor
+        self.failures = 0
+        self.repairs = 0
+        self._procs = [
+            env.process(self._machine_life(machine))
+            for machine in cluster.machines
+        ]
+
+    def _machine_life(self, machine: Machine):
+        while True:
+            yield self.env.timeout(float(self.rng.exponential(self.mtbf_s)))
+            if machine.state is not MachineState.UP:
+                continue
+            machine.state = MachineState.DOWN
+            self.failures += 1
+            if self.monitor is not None:
+                self.monitor.count("machine_failures", key=machine.name)
+                self.monitor.record(
+                    "up_machines", len(self.cluster.up_machines()))
+            if self.on_failure is not None:
+                self.on_failure(machine)
+            yield self.env.timeout(float(self.rng.exponential(self.mttr_s)))
+            machine.state = MachineState.UP
+            machine.used_cores = 0
+            machine.used_memory_gb = 0.0
+            self.repairs += 1
+            if self.monitor is not None:
+                self.monitor.record(
+                    "up_machines", len(self.cluster.up_machines()))
+
+    def availability(self) -> float:
+        """Fraction of machines currently up."""
+        return len(self.cluster.up_machines()) / len(self.cluster.machines)

@@ -1,0 +1,131 @@
+"""The ATLARGE design framework, executable (the paper's primary contribution).
+
+Sub-modules map one-to-one onto the paper's Section 3 and the catalogs of
+Sections 4–5:
+
+- :mod:`repro.core.reasoning` — Dorst's reasoning model (Figure 5):
+  deduction, induction, two kinds of abduction, and "unreasoning".
+- :mod:`repro.core.space` — design spaces and design problems, including
+  the well-structured / ill-structured / wicked classification (§2.4).
+- :mod:`repro.core.exploration` — design-space exploration processes
+  (Figure 6): free, fix-the-what, fix-the-how, and co-evolving (Figure 7).
+- :mod:`repro.core.process` — the Basic Design Cycle and the hierarchical
+  Overall Process with skippable stages and five stopping criteria
+  (Figure 8).
+- :mod:`repro.core.catalog` — Tables 1–3: the framework overview, the 8
+  core principles, the 10 challenges, the problem archetypes P1–P5 with
+  problem sources S1–S3, and Altshuller's levels of creativity.
+- :mod:`repro.core.dissemination` — §3.6: article / FOSS / FOAD artifact
+  checklists.
+"""
+
+from repro.core.reasoning import (
+    Frame,
+    ReasoningMode,
+    Universe,
+    reason,
+)
+from repro.core.space import (
+    Candidate,
+    DesignProblem,
+    DesignSpace,
+    Dimension,
+    ProblemStructure,
+    RuggedLandscape,
+    classify_problem,
+)
+from repro.core.exploration import (
+    CoEvolvingExploration,
+    ExplorationResult,
+    Explorer,
+    FixTheHowExploration,
+    FixTheWhatExploration,
+    FreeExploration,
+    compare_explorers,
+)
+from repro.core.process import (
+    BasicDesignCycle,
+    CycleResult,
+    DesignDocument,
+    OverallProcess,
+    Stage,
+    StoppingCriterion,
+)
+from repro.core.catalog import (
+    ALTSHULLER_LEVELS,
+    CHALLENGES,
+    FRAMEWORK_OVERVIEW,
+    PERFORMANCE_BASELINES,
+    PRINCIPLES,
+    PROBLEM_ARCHETYPES,
+    PROBLEM_SOURCES,
+    Challenge,
+    CreativityLevel,
+    Principle,
+    ProblemArchetype,
+    assess_creativity,
+    challenges_for_principle,
+)
+from repro.core.dissemination import (
+    Artifact,
+    ArtifactKind,
+    DisseminationPlan,
+    FAIR_CHECKLIST,
+)
+from repro.core.memex import DistributedSystemsMemex, MemexEntry
+from repro.core.problemfinding import (
+    KnownSystem,
+    MorphologicalField,
+    ProblemCollector,
+    ProblemStatement,
+)
+
+__all__ = [
+    "ALTSHULLER_LEVELS",
+    "Artifact",
+    "ArtifactKind",
+    "BasicDesignCycle",
+    "CHALLENGES",
+    "Candidate",
+    "Challenge",
+    "CoEvolvingExploration",
+    "CreativityLevel",
+    "CycleResult",
+    "DesignDocument",
+    "DesignProblem",
+    "DesignSpace",
+    "Dimension",
+    "DistributedSystemsMemex",
+    "MemexEntry",
+    "DisseminationPlan",
+    "ExplorationResult",
+    "Explorer",
+    "FAIR_CHECKLIST",
+    "FRAMEWORK_OVERVIEW",
+    "FixTheHowExploration",
+    "FixTheWhatExploration",
+    "Frame",
+    "FreeExploration",
+    "KnownSystem",
+    "MorphologicalField",
+    "ProblemCollector",
+    "ProblemStatement",
+    "OverallProcess",
+    "PERFORMANCE_BASELINES",
+    "PRINCIPLES",
+    "PROBLEM_ARCHETYPES",
+    "PROBLEM_SOURCES",
+    "Principle",
+    "ProblemArchetype",
+    "ProblemStructure",
+    "ReasoningMode",
+    "RuggedLandscape",
+    "Stage",
+    "StoppingCriterion",
+    "Universe",
+    "assess_creativity",
+    "challenges_for_principle",
+    "classify_problem",
+    "compare_explorers",
+    "reason",
+]

@@ -1,0 +1,67 @@
+"""The Graphalytics ecosystem (paper §6.5, Table 8).
+
+- :mod:`repro.graphalytics.algorithms` — the six LDBC Graphalytics
+  kernels (BFS, PageRank, WCC, CDLP, LCC, SSSP), implemented over
+  networkx graphs;
+- :mod:`repro.graphalytics.datasets` — dataset generators with the
+  properties that drive the "D" of the PAD triangle (degree skew,
+  clustering, diameter class);
+- :mod:`repro.graphalytics.platforms` — platform performance models with
+  distinct cost profiles, including GPU-like and heterogeneous platforms
+  (the "H" of the HPAD law [106]);
+- :mod:`repro.graphalytics.benchmark` — the benchmark harness: the
+  P×A×D sweep, the PAD-law interaction analysis, Granula-style phase
+  breakdowns [100], and Grade10-style bottleneck attribution [108].
+"""
+
+from repro.graphalytics.algorithms import (
+    ALGORITHMS,
+    AlgorithmResult,
+    bfs,
+    cdlp,
+    lcc,
+    pagerank,
+    run_algorithm,
+    sssp,
+    wcc,
+)
+from repro.graphalytics.datasets import (
+    DATASET_GENERATORS,
+    DatasetProperties,
+    dataset_properties,
+    make_dataset,
+)
+from repro.graphalytics.platforms import (
+    PLATFORMS,
+    PhaseBreakdown,
+    Platform,
+    PlatformRun,
+)
+from repro.graphalytics.benchmark import (
+    BenchmarkReport,
+    pad_interaction_analysis,
+    run_benchmark,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmResult",
+    "BenchmarkReport",
+    "DATASET_GENERATORS",
+    "DatasetProperties",
+    "PLATFORMS",
+    "PhaseBreakdown",
+    "Platform",
+    "PlatformRun",
+    "bfs",
+    "cdlp",
+    "dataset_properties",
+    "lcc",
+    "make_dataset",
+    "pad_interaction_analysis",
+    "pagerank",
+    "run_algorithm",
+    "run_benchmark",
+    "sssp",
+    "wcc",
+]

@@ -1,0 +1,87 @@
+"""MMOG ecosystems (paper §6.2, Table 6).
+
+The paper decomposes the MMOG ecosystem into four functions; all four are
+modelled:
+
+1. virtual-world operation — :mod:`repro.mmog.world` (zones, sessions,
+   capacity) and :mod:`repro.mmog.rts` (RTSenv scalability, points of
+   interest, the Area-of-Simulation technique, Mirror offloading);
+2. gaming analytics — :mod:`repro.mmog.dynamics` (the longitudinal
+   player-dynamics studies) and :mod:`repro.mmog.provisioning`
+   (prediction-driven cloud provisioning for MMOGs);
+3. procedural game-content generation — :mod:`repro.mmog.pgcg`
+   (POGGI-style distributed puzzle generation);
+4. meta-gaming — :mod:`repro.mmog.social` (implicit social networks,
+   matchmaking) and :mod:`repro.mmog.toxicity` (toxicity detection).
+"""
+
+from repro.mmog.world import VirtualWorld, Zone, PlayerSession
+from repro.mmog.dynamics import (
+    GENRE_PROFILES,
+    GenreProfile,
+    PopulationTrace,
+    simulate_population,
+)
+from repro.mmog.provisioning import (
+    LastValuePredictor,
+    MovingAveragePredictor,
+    TrendPredictor,
+    ProvisioningResult,
+    run_provisioning,
+)
+from repro.mmog.rts import (
+    AreaOfSimulation,
+    MirrorOffload,
+    PointOfInterest,
+    RTSWorkload,
+    rts_frame_cost,
+    rtsenv_sweep,
+)
+from repro.mmog.social import (
+    InteractionGraph,
+    matchmaking_quality,
+    build_interaction_graph,
+)
+from repro.mmog.toxicity import ToxicityDetector, generate_chat
+from repro.mmog.pgcg import PuzzleInstance, generate_puzzles, puzzle_difficulty
+from repro.mmog.analytics import (
+    CameoAnalytics,
+    SessionRecord,
+    generate_sessions,
+)
+from repro.mmog.yardstick import YardstickReport, capacity_study, run_yardstick
+
+__all__ = [
+    "AreaOfSimulation",
+    "CameoAnalytics",
+    "SessionRecord",
+    "YardstickReport",
+    "capacity_study",
+    "generate_sessions",
+    "run_yardstick",
+    "GENRE_PROFILES",
+    "GenreProfile",
+    "InteractionGraph",
+    "LastValuePredictor",
+    "MirrorOffload",
+    "MovingAveragePredictor",
+    "PlayerSession",
+    "PointOfInterest",
+    "PopulationTrace",
+    "ProvisioningResult",
+    "PuzzleInstance",
+    "RTSWorkload",
+    "ToxicityDetector",
+    "TrendPredictor",
+    "VirtualWorld",
+    "Zone",
+    "build_interaction_graph",
+    "generate_chat",
+    "generate_puzzles",
+    "matchmaking_quality",
+    "puzzle_difficulty",
+    "rts_frame_cost",
+    "rtsenv_sweep",
+    "run_provisioning",
+    "simulate_population",
+]

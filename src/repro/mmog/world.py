@@ -1,0 +1,124 @@
+"""The virtual world: zones, sessions, and capacity (Function 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+_session_ids = count()
+
+
+@dataclass
+class PlayerSession:
+    """One player's connected session."""
+
+    player: str
+    start: float
+    session_id: int = field(default_factory=lambda: next(_session_ids))
+    zone: Optional[str] = None
+    end: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+
+@dataclass
+class Zone:
+    """A shard/region of the world with a player capacity.
+
+    MMOGs raise "some of the strictest NFRs": above ``soft_capacity`` the
+    tick rate degrades linearly until ``hard_capacity``, beyond which
+    joins are refused — both effects the provisioning experiments measure.
+    """
+
+    name: str
+    soft_capacity: int = 100
+    hard_capacity: int = 150
+    base_tick_hz: float = 10.0
+    players: set[int] = field(default_factory=set)
+
+    def __post_init__(self):
+        if self.hard_capacity < self.soft_capacity:
+            raise ValueError("hard_capacity must be >= soft_capacity")
+
+    @property
+    def population(self) -> int:
+        return len(self.players)
+
+    @property
+    def tick_hz(self) -> float:
+        """Current update frequency; degrades above the soft capacity."""
+        if self.population <= self.soft_capacity:
+            return self.base_tick_hz
+        over = self.population - self.soft_capacity
+        span = max(self.hard_capacity - self.soft_capacity, 1)
+        degradation = min(over / span, 1.0)
+        return self.base_tick_hz * (1.0 - 0.7 * degradation)
+
+    @property
+    def overloaded(self) -> bool:
+        return self.population > self.soft_capacity
+
+    def try_join(self, session: PlayerSession) -> bool:
+        if self.population >= self.hard_capacity:
+            return False
+        self.players.add(session.session_id)
+        session.zone = self.name
+        return True
+
+    def leave(self, session: PlayerSession) -> None:
+        self.players.discard(session.session_id)
+        session.zone = None
+
+
+class VirtualWorld:
+    """A collection of zones with least-loaded placement."""
+
+    def __init__(self, zones: Optional[list[Zone]] = None):
+        self.zones: dict[str, Zone] = {z.name: z for z in (zones or [])}
+        self.rejected_joins = 0
+
+    def add_zone(self, zone: Zone) -> None:
+        if zone.name in self.zones:
+            raise ValueError(f"duplicate zone {zone.name}")
+        self.zones[zone.name] = zone
+
+    def remove_zone(self, name: str) -> Zone:
+        zone = self.zones.get(name)
+        if zone is None:
+            raise KeyError(name)
+        if zone.population:
+            raise RuntimeError(f"zone {name} still has players")
+        return self.zones.pop(name)
+
+    @property
+    def population(self) -> int:
+        return sum(z.population for z in self.zones.values())
+
+    @property
+    def total_soft_capacity(self) -> int:
+        return sum(z.soft_capacity for z in self.zones.values())
+
+    def place(self, session: PlayerSession) -> Optional[Zone]:
+        """Least-loaded join; None (and a rejection count) if all full."""
+        candidates = sorted(self.zones.values(),
+                            key=lambda z: (z.population, z.name))
+        for zone in candidates:
+            if zone.try_join(session):
+                return zone
+        self.rejected_joins += 1
+        return None
+
+    def overloaded_zones(self) -> list[Zone]:
+        return [z for z in self.zones.values() if z.overloaded]
+
+    def worst_tick_hz(self) -> float:
+        if not self.zones:
+            return 0.0
+        return min(z.tick_hz for z in self.zones.values())

@@ -1,0 +1,51 @@
+"""The evolving datacenter reference architecture (paper Figure 9).
+
+Two generations are modelled:
+
+- :data:`BIG_DATA_2011` — the 2011–2016 four-layer big-data architecture
+  (High-Level Language, Programming Model, Execution Engine, Storage
+  Engine);
+- :data:`DATACENTER_2016` — the 2016 full-datacenter architecture with five
+  core layers (Front-end, Back-end, Resources, Operations Service,
+  Infrastructure) plus the orthogonal DevOps layer.
+
+The package provides the architecture model (layers, sub-layers,
+components), a registry of well-known ecosystem components (Hadoop, YARN,
+Zookeeper, …), mapping of concrete ecosystems onto an architecture, and the
+coverage analysis the paper uses to argue the 2016 architecture encompasses
+industry ecosystems where the 2011 one cannot.
+"""
+
+from repro.refarch.model import (
+    Component,
+    Layer,
+    ReferenceArchitecture,
+)
+from repro.refarch.catalog import (
+    BIG_DATA_2011,
+    DATACENTER_2016,
+    KNOWN_COMPONENTS,
+    component,
+)
+from repro.refarch.mapping import (
+    EcosystemMapping,
+    MAPREDUCE_ECOSYSTEM,
+    INDUSTRY_ECOSYSTEMS,
+    coverage,
+    map_ecosystem,
+)
+
+__all__ = [
+    "BIG_DATA_2011",
+    "Component",
+    "DATACENTER_2016",
+    "EcosystemMapping",
+    "INDUSTRY_ECOSYSTEMS",
+    "KNOWN_COMPONENTS",
+    "Layer",
+    "MAPREDUCE_ECOSYSTEM",
+    "ReferenceArchitecture",
+    "component",
+    "coverage",
+    "map_ecosystem",
+]

@@ -1,0 +1,150 @@
+"""The two Figure 9 architectures and a registry of known components.
+
+The component concern-tags encode what the paper says about each system:
+e.g., Pig and Hive are high-level languages over the MapReduce programming
+model; YARN and Mesos do general-purpose resource allocation; MemEFS and
+Pocket are in-memory/ephemeral storage the 2011 architecture cannot place.
+"""
+
+from __future__ import annotations
+
+from repro.refarch.model import Component, Layer, ReferenceArchitecture
+
+
+def component(name: str, *concerns: str, description: str = "") -> Component:
+    """Shorthand constructor used by the registry and by tests."""
+    return Component(name=name, concerns=frozenset(concerns),
+                     description=description)
+
+
+# ---------------------------------------------------------------------------
+# 2011-2016: the four-layer big data reference architecture (Fig. 9 top).
+# ---------------------------------------------------------------------------
+BIG_DATA_2011 = ReferenceArchitecture(
+    name="big-data-reference-architecture",
+    era="2011-2016",
+    layers=[
+        Layer(4, "High-Level Language",
+              {"high-level-language", "sql", "dataflow-language"},
+              "User-facing query and scripting languages"),
+        Layer(3, "Programming Model",
+              {"programming-model", "mapreduce-model", "graph-model",
+               "stream-model"},
+              "The abstraction applications are written against"),
+        Layer(2, "Execution Engine",
+              {"execution-engine", "task-execution", "job-management",
+               "resource-allocation", "scheduling", "coordination"},
+              "Distributes and executes jobs"),
+        Layer(1, "Storage Engine",
+              {"storage-engine", "distributed-fs", "block-storage",
+               "nosql-store"},
+              "Durable data storage"),
+    ],
+)
+
+
+# ---------------------------------------------------------------------------
+# 2016-ongoing: the full datacenter reference architecture (Fig. 9 bottom).
+# Five core layers plus the orthogonal DevOps layer; Layers 4 and 5 have
+# sub-layers to classify emerging specialization.
+# ---------------------------------------------------------------------------
+DATACENTER_2016 = ReferenceArchitecture(
+    name="datacenter-reference-architecture",
+    era="2016-ongoing",
+    layers=[
+        Layer(5, "Front-end",
+              {"application"},
+              "Application-level functionality",
+              sublayers=[
+                  Layer(53, "High-Level Language",
+                        {"high-level-language", "sql", "dataflow-language"}),
+                  Layer(52, "Portals and SaaS",
+                        {"portal", "saas", "notebook"}),
+                  Layer(51, "Programming Model",
+                        {"programming-model", "mapreduce-model",
+                         "graph-model", "stream-model", "faas-model"}),
+              ]),
+        Layer(4, "Back-end",
+              {"application-management"},
+              "Task, resource, and service management for the application",
+              sublayers=[
+                  Layer(43, "Execution Engine",
+                        {"execution-engine", "task-execution",
+                         "job-management", "workflow-engine"}),
+                  Layer(42, "Runtime Storage",
+                        {"storage-engine", "distributed-fs", "in-memory-fs",
+                         "ephemeral-storage", "nosql-store"}),
+                  Layer(41, "Network and I/O Engines",
+                        {"network-engine", "rdma", "storage-network-codesign"}),
+              ]),
+        Layer(3, "Resources",
+              {"resource-allocation", "scheduling", "resource-management",
+               "cluster-management", "autoscaling"},
+              "Task, resource, and service management for the operator"),
+        Layer(2, "Operations Service",
+              {"coordination", "naming", "configuration", "messaging",
+               "membership", "locking"},
+              "Distributed operating services"),
+        Layer(1, "Infrastructure",
+              {"virtualization", "physical-resources", "container-runtime",
+               "block-storage", "network-fabric"},
+              "Physical and virtual resource management"),
+        Layer(6, "DevOps",
+              {"monitoring", "logging", "benchmarking", "performance-analysis",
+               "ci-cd", "tracing"},
+              "Orthogonal operational tooling", orthogonal=True),
+    ],
+)
+
+
+#: Registry of the ecosystem components named in the paper (Fig. 9 and §6.3).
+KNOWN_COMPONENTS: dict[str, Component] = {
+    comp.name: comp for comp in [
+        component("Pig", "high-level-language", "dataflow-language",
+                  description="Dataflow scripting over MapReduce"),
+        component("Hive", "high-level-language", "sql",
+                  description="SQL over MapReduce"),
+        component("MapReduce", "mapreduce-model", "programming-model",
+                  description="The MapReduce programming model"),
+        component("Hadoop", "execution-engine", "job-management",
+                  "task-execution",
+                  description="Distributes and executes MapReduce jobs"),
+        component("HDFS", "storage-engine", "distributed-fs",
+                  description="Hadoop distributed file system"),
+        component("YARN", "resource-allocation", "scheduling",
+                  description="General-purpose datacenter resource manager"),
+        component("Mesos", "resource-allocation", "cluster-management",
+                  description="Two-level datacenter resource manager"),
+        component("Zookeeper", "coordination", "configuration", "naming",
+                  description="Configuration and coordination service"),
+        component("Spark", "execution-engine", "programming-model",
+                  description="In-memory dataflow engine"),
+        component("Kubernetes", "container-runtime", "cluster-management",
+                  "resource-allocation",
+                  description="Container orchestration"),
+        # Components the 2011 architecture cannot place (§6.3's critique):
+        component("MemEFS", "in-memory-fs",
+                  description="Elastic in-memory runtime distributed FS"),
+        component("Pocket", "ephemeral-storage",
+                  description="Elastic ephemeral storage for serverless"),
+        component("Crail", "network-engine", "rdma",
+                  description="High-performance I/O architecture"),
+        component("FlashNet", "storage-network-codesign",
+                  description="Flash/network stack co-design"),
+        component("Graphalytics", "benchmarking",
+                  description="Graph-processing benchmark (DevOps tool)"),
+        component("Granula", "performance-analysis",
+                  description="Fine-grained performance analysis"),
+        component("JupyterHub", "portal", "notebook",
+                  description="SaaS-style portal; no 2011 home either"),
+        component("Fission", "faas-model", "execution-engine",
+                  description="FaaS platform over Kubernetes"),
+        component("Fission-Workflows", "workflow-engine",
+                  description="Workflow engine in the Kubernetes-Fission "
+                              "ecosystem"),
+        component("Prometheus", "monitoring",
+                  description="Metrics and monitoring"),
+        component("EC2", "virtualization", "physical-resources",
+                  description="IaaS virtual machines"),
+    ]
+}

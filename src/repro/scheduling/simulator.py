@@ -1,0 +1,274 @@
+"""An event-driven cluster/job simulator.
+
+Executes bags-of-tasks and workflows on a :class:`repro.cluster.Cluster`
+under a :class:`repro.scheduling.policies.Policy`, producing the metric
+set of the paper's scheduling studies ([121], [122]): wait time, response
+time, bounded slowdown, makespan, and utilization.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import Machine
+from repro.scheduling.policies import FairSharePolicy, Policy
+from repro.sim import Environment, Monitor
+from repro.workload.task import BagOfTasks, Task, TaskState, Workflow
+
+#: Bounded-slowdown runtime floor (the standard 10-second bound).
+SLOWDOWN_BOUND_S = 10.0
+
+Job = Union[BagOfTasks, Workflow]
+
+
+@dataclass
+class ScheduleMetrics:
+    """Aggregate metrics of one simulated schedule."""
+
+    policy: str
+    n_tasks: int
+    mean_wait_s: float
+    mean_response_s: float
+    mean_bounded_slowdown: float
+    p95_bounded_slowdown: float
+    makespan_s: float
+    utilization: float
+    job_mean_makespan_s: float = float("nan")
+
+    def objective(self) -> float:
+        """The selection objective used throughout: mean bounded slowdown."""
+        return self.mean_bounded_slowdown
+
+
+class ClusterSimulator:
+    """Drives jobs through a cluster under a swappable policy.
+
+    The policy can be replaced at runtime (``sim.policy = other``), which
+    is exactly the hook the portfolio scheduler uses.
+    """
+
+    def __init__(self, env: Environment, cluster: Cluster, policy: Policy,
+                 monitor: Optional[Monitor] = None):
+        self.env = env
+        self.cluster = cluster
+        self.policy = policy
+        self.monitor = monitor or Monitor(env)
+        self.ready: list[Task] = []
+        self.running: dict[int, tuple[Task, Machine, float]] = {}
+        self.finished: list[Task] = []
+        self.jobs: list[Job] = []
+        #: Optional hook invoked right before each scheduling pass (the
+        #: portfolio scheduler uses it to re-select the policy on queue
+        #: changes, not just on a timer).
+        self.pre_schedule = None
+        #: Tasks restarted after machine failures.
+        self.restarts = 0
+        self._procs: dict[int, object] = {}
+        self._wake = env.event()
+        self._done_submitting = False
+        self._scheduler = env.process(self._schedule_loop())
+
+    # -- submission -----------------------------------------------------------
+    def submit_jobs(self, jobs: Sequence[Job]) -> None:
+        """Register jobs; their tasks arrive at their submit times."""
+        self.jobs.extend(jobs)
+        self.env.process(self._arrivals(sorted(jobs,
+                                               key=lambda j: j.submit_time)))
+
+    def _arrivals(self, jobs: Sequence[Job]):
+        for job in jobs:
+            delay = job.submit_time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            if isinstance(job, Workflow):
+                self.ready.extend(job.ready_tasks())
+            else:
+                self.ready.extend(job.tasks)
+            self._kick()
+        self._done_submitting = True
+        self._kick()
+        return None
+
+    def _kick(self) -> None:
+        if not self._wake.triggered:
+            self._wake.succeed()
+
+    # -- scheduling ----------------------------------------------------------
+    @property
+    def all_done(self) -> bool:
+        return (self._done_submitting and not self.ready
+                and not self.running)
+
+    def _schedule_loop(self):
+        while True:
+            self._try_schedule()
+            if self.all_done:
+                return
+            # Structural impossibility: no machine in the cluster is big
+            # enough for a ready task even when completely empty. (A
+            # merely-busy or temporarily-failed cluster is not flagged —
+            # the task may fit later.)
+            if (self._done_submitting and self.ready and not self.running
+                    and all(not any(m.cores >= t.cores
+                                    and m.memory_gb >= t.memory_gb
+                                    for m in self.cluster.machines)
+                            for t in self.ready)):
+                raise RuntimeError(
+                    f"{len(self.ready)} tasks can never be placed on this "
+                    "cluster (too many cores or too much memory requested)")
+            self._wake = self.env.event()
+            yield self._wake
+
+    def _earliest_head_start(self, head: Task) -> float:
+        """Estimated earliest time the head task could start (for EASY)."""
+        free = self.cluster.free_cores
+        if free >= head.cores:
+            return self.env.now
+        releases = sorted(
+            (start + (task.runtime_estimate or task.work), task.cores)
+            for task_id, (task, machine, start) in self.running.items())
+        for finish_est, cores in releases:
+            free += cores
+            if free >= head.cores:
+                return max(finish_est, self.env.now)
+        return float("inf")
+
+    def _try_schedule(self) -> None:
+        if self.pre_schedule is not None and self.ready:
+            self.pre_schedule()
+        progress = True
+        while progress:
+            progress = False
+            if not self.ready:
+                return
+            ordered = self.policy.order(self.ready, self.env.now)
+            head = ordered[0]
+            machine = self.cluster.first_fit(head.cores, head.memory_gb)
+            if machine is not None:
+                self._start(head, machine)
+                progress = True
+                continue
+            if not self.policy.allows_backfill():
+                return
+            # EASY backfill: run later tasks that fit now and (by
+            # estimate) finish before the head could possibly start.
+            shadow = self._earliest_head_start(head)
+            window = shadow - self.env.now
+            for task in ordered[1:]:
+                estimate = task.runtime_estimate or task.work
+                if estimate > window:
+                    continue
+                machine = self.cluster.first_fit(task.cores, task.memory_gb)
+                if machine is not None:
+                    self._start(task, machine)
+                    progress = True
+                    break
+            if not progress:
+                return
+
+    def _start(self, task: Task, machine: Machine) -> None:
+        self.ready.remove(task)
+        machine.allocate(task.cores, task.memory_gb)
+        task.state = TaskState.RUNNING
+        task.start_time = self.env.now
+        self.running[task.task_id] = (task, machine, self.env.now)
+        self.monitor.record("queue_length", len(self.ready))
+        self._procs[task.task_id] = self.env.process(
+            self._execute(task, machine))
+
+    def handle_machine_failure(self, machine: Machine) -> None:
+        """Requeue every task running on a failed machine.
+
+        Wire this as the :class:`repro.cluster.FailureInjector`'s
+        ``on_failure`` callback. Victim tasks return to PENDING and
+        restart from scratch elsewhere (the classic fail-restart model);
+        the injector resets the machine's allocations on repair.
+        """
+        victims = [task for task, m, _ in self.running.values()
+                   if m is machine]
+        for task in victims:
+            proc = self._procs.get(task.task_id)
+            if proc is not None and proc.is_alive:
+                proc.interrupt("machine-failure")
+
+    def _execute(self, task: Task, machine: Machine):
+        from repro.sim import Interrupt
+        runtime = machine.runtime_of(task.work)
+        try:
+            yield self.env.timeout(runtime)
+        except Interrupt:
+            # Machine failed under us: requeue; the failure injector owns
+            # the machine's allocation reset on repair.
+            task.state = TaskState.PENDING
+            task.start_time = None
+            del self.running[task.task_id]
+            del self._procs[task.task_id]
+            self.restarts += 1
+            self.ready.append(task)
+            self._kick()
+            return
+        machine.release(task.cores, task.memory_gb)
+        task.state = TaskState.DONE
+        task.finish_time = self.env.now
+        del self.running[task.task_id]
+        self._procs.pop(task.task_id, None)
+        self.finished.append(task)
+        if isinstance(self.policy, FairSharePolicy):
+            self.policy.charge(task.user, task.cores * runtime)
+        # Unlock workflow successors.
+        for job in self.jobs:
+            if isinstance(job, Workflow) and job.job_id == task.job_id:
+                for succ in job.ready_tasks():
+                    if succ not in self.ready:
+                        self.ready.append(succ)
+                break
+        self.monitor.record("utilization", self.cluster.utilization)
+        self._kick()
+
+    # -- metrics --------------------------------------------------------------
+    def metrics(self) -> ScheduleMetrics:
+        if not self.finished:
+            raise RuntimeError("no finished tasks; run the simulation first")
+        waits = np.array([t.wait_time for t in self.finished])
+        responses = np.array([t.response_time for t in self.finished])
+        runtimes = np.array([t.runtime for t in self.finished])
+        slowdowns = np.maximum(
+            responses / np.maximum(runtimes, SLOWDOWN_BOUND_S), 1.0)
+        first_submit = min(t.submit_time for t in self.finished)
+        makespan = max(t.finish_time for t in self.finished) - first_submit
+        total_work = float(
+            sum(t.cores * t.runtime for t in self.finished))
+        capacity = self.cluster.total_cores * makespan if makespan else 1.0
+        job_makespans = [j.makespan for j in self.jobs
+                         if j.makespan is not None]
+        return ScheduleMetrics(
+            policy=self.policy.name,
+            n_tasks=len(self.finished),
+            mean_wait_s=float(waits.mean()),
+            mean_response_s=float(responses.mean()),
+            mean_bounded_slowdown=float(slowdowns.mean()),
+            p95_bounded_slowdown=float(np.percentile(slowdowns, 95)),
+            makespan_s=float(makespan),
+            utilization=float(total_work / capacity),
+            job_mean_makespan_s=float(np.mean(job_makespans))
+            if job_makespans else float("nan"),
+        )
+
+
+def simulate_schedule(jobs: Sequence[Job], cluster: Cluster,
+                      policy: Policy,
+                      horizon_s: Optional[float] = None) -> ScheduleMetrics:
+    """Run one complete schedule and return its metrics."""
+    env = Environment()
+    sim = ClusterSimulator(env, cluster, policy)
+    sim.submit_jobs(list(jobs))
+    if horizon_s is not None:
+        env.run(until=horizon_s)
+    else:
+        env.run()
+    return sim.metrics()

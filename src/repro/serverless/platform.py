@@ -1,0 +1,222 @@
+"""A FaaS platform: function lifecycle fully managed by the provider.
+
+The model implements the paper's three serverless principles ([101]):
+(1) operational logic abstracted away — callers only ``invoke``;
+(2) fine-grained pay-per-use — GB-second billing per invocation;
+(3) event-driven, elastically scaled — instances spawn on demand (cold
+start) and are reaped after an idle keep-alive window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+from repro.sim import Environment, Monitor
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A deployed function."""
+
+    name: str
+    #: Execution time on a warm instance, seconds.
+    runtime_s: float
+    memory_gb: float = 0.25
+
+    def __post_init__(self):
+        if self.runtime_s <= 0:
+            raise ValueError("runtime_s must be positive")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+
+
+@dataclass
+class PlatformConfig:
+    """Operator-side knobs of the platform."""
+
+    cold_start_s: float = 1.5
+    keep_alive_s: float = 600.0
+    #: Price per GB-second of function execution.
+    price_per_gb_s: float = 0.0000167
+    #: Billing also counts the cold start (as real platforms' init does)?
+    bill_cold_start: bool = False
+    #: Hard cap on concurrent instances per function (None = unbounded).
+    concurrency_limit: Optional[int] = None
+    #: Instances kept pre-warmed per function (cold-start mitigation).
+    prewarmed: int = 0
+
+
+@dataclass
+class Invocation:
+    """One function invocation and its measured life-cycle."""
+
+    inv_id: int
+    function: str
+    submit_time: float
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    cold: bool = False
+    rejected: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+    @property
+    def queue_delay(self) -> Optional[float]:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+
+class _Instance:
+    """A warm (or warming) instance of one function."""
+
+    __slots__ = ("busy_until", "idle_since")
+
+    def __init__(self, now: float):
+        self.busy_until = now
+        self.idle_since = now
+
+
+class FaaSPlatform:
+    """The platform: registry, pools, router, biller."""
+
+    def __init__(self, env: Environment,
+                 config: Optional[PlatformConfig] = None):
+        self.env = env
+        self.config = config or PlatformConfig()
+        self.functions: dict[str, FunctionSpec] = {}
+        self._pools: dict[str, list[_Instance]] = {}
+        self._ids = count()
+        self.invocations: list[Invocation] = []
+        self.monitor = Monitor(env)
+        self.billed_gb_s = 0.0
+        #: GB-seconds of idle warm capacity (the provider's keep-alive cost).
+        self.idle_gb_s = 0.0
+        env.process(self._reaper())
+
+    # -- management --------------------------------------------------------
+    def deploy(self, spec: FunctionSpec) -> None:
+        if spec.name in self.functions:
+            raise ValueError(f"function {spec.name!r} already deployed")
+        self.functions[spec.name] = spec
+        pool = []
+        for _ in range(self.config.prewarmed):
+            pool.append(_Instance(self.env.now))
+        self._pools[spec.name] = pool
+
+    def undeploy(self, name: str) -> None:
+        if name not in self.functions:
+            raise KeyError(name)
+        del self.functions[name]
+        del self._pools[name]
+
+    def warm_instances(self, name: str) -> int:
+        now = self.env.now
+        return sum(1 for inst in self._pools.get(name, ())
+                   if inst.busy_until <= now)
+
+    def pool_size(self, name: str) -> int:
+        return len(self._pools.get(name, ()))
+
+    # -- invocation -----------------------------------------------------------
+    def invoke(self, name: str):
+        """Start an invocation; returns an Event yielding the Invocation.
+
+        From a process: ``inv = yield platform.invoke("f")``.
+        """
+        if name not in self.functions:
+            raise KeyError(f"function {name!r} not deployed")
+        inv = Invocation(inv_id=next(self._ids), function=name,
+                         submit_time=self.env.now)
+        self.invocations.append(inv)
+        done = self.env.event()
+        self.env.process(self._execute(inv, done))
+        return done
+
+    def _acquire_instance(self, name: str) -> tuple[Optional[_Instance], bool]:
+        """(instance, is_cold); None if the concurrency cap rejects."""
+        now = self.env.now
+        pool = self._pools[name]
+        # Prefer the warm instance idle the longest (stable reuse).
+        warm = [i for i in pool if i.busy_until <= now]
+        if warm:
+            inst = min(warm, key=lambda i: i.idle_since)
+            return inst, False
+        limit = self.config.concurrency_limit
+        if limit is not None and len(pool) >= limit:
+            return None, False
+        inst = _Instance(now)
+        pool.append(inst)
+        return inst, True
+
+    def _execute(self, inv: Invocation, done):
+        spec = self.functions[inv.function]
+        inst, cold = self._acquire_instance(inv.function)
+        if inst is None:
+            inv.rejected = True
+            self.monitor.count("rejections", key=inv.function)
+            done.succeed(inv)
+            return
+        inv.cold = cold
+        setup = self.config.cold_start_s if cold else 0.0
+        # Account idle time of a reused warm instance.
+        if not cold:
+            self.idle_gb_s += (self.env.now - inst.idle_since) * spec.memory_gb
+        inst.busy_until = self.env.now + setup + spec.runtime_s
+        if cold:
+            yield self.env.timeout(setup)
+        inv.start_time = self.env.now
+        yield self.env.timeout(spec.runtime_s)
+        inv.finish_time = self.env.now
+        inst.idle_since = self.env.now
+        billed_s = spec.runtime_s + (setup if self.config.bill_cold_start
+                                     else 0.0)
+        self.billed_gb_s += billed_s * spec.memory_gb
+        self.monitor.count("invocations", key=inv.function)
+        self.monitor.record(f"latency:{inv.function}", inv.latency)
+        done.succeed(inv)
+
+    def _reaper(self):
+        """Reap instances idle past the keep-alive window."""
+        interval = max(self.config.keep_alive_s / 4, 1.0)
+        while True:
+            yield self.env.timeout(interval)
+            now = self.env.now
+            for name, pool in self._pools.items():
+                spec = self.functions[name]
+                survivors = []
+                for inst in pool:
+                    idle = (now - inst.idle_since
+                            if inst.busy_until <= now else 0.0)
+                    if idle > self.config.keep_alive_s:
+                        self.idle_gb_s += (self.config.keep_alive_s
+                                           * spec.memory_gb)
+                    else:
+                        survivors.append(inst)
+                # Maintain the pre-warmed floor.
+                while len(survivors) < self.config.prewarmed:
+                    survivors.append(_Instance(now))
+                self._pools[name] = survivors
+
+    # -- accounting -----------------------------------------------------------
+    def cost(self) -> float:
+        """The customer's bill (principle 2: pay only for what runs)."""
+        return self.billed_gb_s * self.config.price_per_gb_s
+
+    def cold_start_fraction(self, name: Optional[str] = None) -> float:
+        pool = [i for i in self.invocations
+                if not i.rejected and (name is None or i.function == name)]
+        if not pool:
+            return 0.0
+        return sum(1 for i in pool if i.cold) / len(pool)
+
+    def completed(self, name: Optional[str] = None) -> list[Invocation]:
+        return [i for i in self.invocations
+                if i.finish_time is not None
+                and (name is None or i.function == name)]

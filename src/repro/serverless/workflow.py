@@ -1,0 +1,145 @@
+"""A workflow engine over the FaaS platform (the Fission Workflows analog).
+
+Workflows are DAGs whose nodes are deployed function names; the engine
+walks the DAG, invoking each function as soon as its predecessors finish —
+"workflow-based serverless orchestration" (§6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from repro.serverless.platform import FaaSPlatform, Invocation
+from repro.sim import Environment
+
+
+class FunctionWorkflow:
+    """A named DAG of function invocations."""
+
+    def __init__(self, name: str,
+                 steps: Sequence[tuple[str, str]],
+                 edges: Sequence[tuple[str, str]] = ()):
+        """``steps`` are (step_id, function_name); ``edges`` are
+        (step_id, step_id) precedence pairs."""
+        self.name = name
+        self.graph = nx.DiGraph()
+        self.functions: dict[str, str] = {}
+        for step_id, function in steps:
+            if step_id in self.functions:
+                raise ValueError(f"duplicate step {step_id!r}")
+            self.functions[step_id] = function
+            self.graph.add_node(step_id)
+        for src, dst in edges:
+            if src not in self.functions or dst not in self.functions:
+                raise ValueError(f"edge ({src}, {dst}) references "
+                                 "unknown step")
+            self.graph.add_edge(src, dst)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise ValueError(f"workflow {name}: cycle in step graph")
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    @classmethod
+    def chain(cls, name: str, functions: Sequence[str]) -> "FunctionWorkflow":
+        steps = [(f"s{i}", fn) for i, fn in enumerate(functions)]
+        edges = [(f"s{i}", f"s{i+1}") for i in range(len(functions) - 1)]
+        return cls(name, steps, edges)
+
+    @classmethod
+    def fan_out_fan_in(cls, name: str, head: str, middle: Sequence[str],
+                       tail: str) -> "FunctionWorkflow":
+        steps = [("head", head)]
+        steps += [(f"m{i}", fn) for i, fn in enumerate(middle)]
+        steps += [("tail", tail)]
+        edges = [("head", f"m{i}") for i in range(len(middle))]
+        edges += [(f"m{i}", "tail") for i in range(len(middle))]
+        return cls(name, steps, edges)
+
+
+@dataclass
+class WorkflowRun:
+    """One execution of a workflow."""
+
+    workflow: str
+    submit_time: float
+    finish_time: Optional[float] = None
+    invocations: dict[str, Invocation] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+    @property
+    def critical_path_runtime(self) -> float:
+        """Sum of pure runtimes along the slowest realized path — makespan
+        minus orchestration and cold-start overhead."""
+        return sum(
+            inv.finish_time - inv.start_time
+            for inv in self.invocations.values()
+            if inv.finish_time is not None and inv.start_time is not None)
+
+
+class WorkflowEngine:
+    """Walks workflow DAGs over a platform."""
+
+    def __init__(self, env: Environment, platform: FaaSPlatform):
+        self.env = env
+        self.platform = platform
+        self.runs: list[WorkflowRun] = []
+
+    def submit(self, workflow: FunctionWorkflow):
+        """Run the workflow; returns an Event yielding the WorkflowRun."""
+        for function in workflow.functions.values():
+            if function not in self.platform.functions:
+                raise KeyError(
+                    f"workflow {workflow.name!r} uses undeployed function "
+                    f"{function!r}")
+        run = WorkflowRun(workflow=workflow.name, submit_time=self.env.now)
+        self.runs.append(run)
+        done = self.env.event()
+        self.env.process(self._drive(workflow, run, done))
+        return done
+
+    def _drive(self, workflow: FunctionWorkflow, run: WorkflowRun, done):
+        remaining_preds = {
+            step: workflow.graph.in_degree(step)
+            for step in workflow.graph.nodes
+        }
+        finished: set[str] = set()
+        in_flight: dict = {}
+
+        def launch_ready():
+            for step, preds in remaining_preds.items():
+                if preds == 0 and step not in finished and step not in in_flight:
+                    in_flight[step] = self.platform.invoke(
+                        workflow.functions[step])
+
+        launch_ready()
+        while len(finished) < len(workflow.functions):
+            if not in_flight:
+                raise RuntimeError(
+                    f"workflow {workflow.name}: deadlock (rejected "
+                    "invocations?)")
+            events = dict(in_flight)
+            result = yield self.env.any_of(list(events.values()))
+            for step, event in events.items():
+                if event in result:
+                    inv = result[event]
+                    if inv.rejected:
+                        raise RuntimeError(
+                            f"workflow {workflow.name}: step {step} "
+                            "rejected by concurrency limit")
+                    run.invocations[step] = inv
+                    finished.add(step)
+                    del in_flight[step]
+                    for succ in workflow.graph.successors(step):
+                        remaining_preds[succ] -= 1
+            launch_ready()
+        run.finish_time = self.env.now
+        done.succeed(run)

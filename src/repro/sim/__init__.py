@@ -1,0 +1,81 @@
+"""Discrete-event simulation kernel for the AtLarge reproduction.
+
+A self-contained, deterministic, generator-based discrete-event simulation
+(DES) engine in the style of SimPy, built from scratch because the paper's
+experiments (P2P swarms, MMOG worlds, datacenter schedulers, FaaS platforms,
+autoscalers) all need a common notion of simulated time, concurrent
+processes, and contended resources.
+
+Public surface:
+
+- :class:`Environment` — the simulation clock and event loop.
+- :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`AllOf`,
+  :class:`AnyOf` — the event types processes wait on.
+- :class:`Interrupt` — exception thrown into interrupted processes.
+- :class:`Resource`, :class:`PriorityResource`, :class:`PreemptiveResource`
+  — capacity-limited resources with FIFO / priority / preemptive queueing.
+- :class:`Container` — continuous level (e.g., energy budget, tokens).
+- :class:`Store`, :class:`FilterStore`, :class:`PriorityStore` — object
+  queues between processes.
+- :class:`RandomStreams` — named, reproducible RNG streams.
+- :class:`Monitor`, :class:`TimeSeries`, :class:`Counter` — instrumentation.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def clock(env, name, tick):
+...     while True:
+...         log.append((name, env.now))
+...         yield env.timeout(tick)
+>>> _ = env.process(clock(env, 'fast', 1))
+>>> env.run(until=3)
+>>> log
+[('fast', 0), ('fast', 1), ('fast', 2)]
+"""
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.environment import Environment, StopSimulation
+from repro.sim.resources import (
+    Container,
+    FilterStore,
+    PreemptiveResource,
+    Preempted,
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    Store,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.monitor import Counter, Monitor, TimeSeries, summarize
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Counter",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "Monitor",
+    "Preempted",
+    "PreemptiveResource",
+    "PriorityResource",
+    "PriorityStore",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "StopSimulation",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+    "summarize",
+]

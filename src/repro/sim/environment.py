@@ -1,0 +1,136 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional, Union
+
+from repro.sim.events import _NORMAL, Event, Process, Timeout
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at an event."""
+
+
+class EmptySchedule(Exception):
+    """Raised when the event queue runs dry before ``until``."""
+
+
+class Environment:
+    """A deterministic discrete-event simulation environment.
+
+    Time is a float starting at ``initial_time`` (default 0) and advances
+    only when events are dispatched. Events scheduled at the same timestamp
+    dispatch in (priority, insertion-order), which makes runs fully
+    deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now} queued={len(self._queue)}>"
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories -----------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event (trigger it with ``succeed``/``fail``)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator function's generator."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> "Event":
+        from repro.sim.events import AllOf
+        return AllOf(self, events)
+
+    def any_of(self, events) -> "Event":
+        from repro.sim.events import AnyOf
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = _NORMAL,
+                  delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Dispatch exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise EmptySchedule()
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it rather than losing it.
+            raise event._value
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None``: run until the event queue is exhausted;
+        - a number: run until the clock reaches that time;
+        - an :class:`Event`: run until that event is processed, returning
+          its value (or raising its failure).
+        """
+        if until is None:
+            stop_at = float("inf")
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_at = float("inf")
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+            stop_event.callbacks.append(self._stop_callback)
+        else:
+            stop_at = float(until)
+            if stop_at <= self._now:
+                raise ValueError(
+                    f"until ({stop_at}) must be greater than now ({self._now})")
+            stop_event = None
+
+        try:
+            while self._queue and self.peek() < stop_at:
+                self.step()
+        except StopSimulation as stop:
+            event = stop.args[0]
+            if event._ok:
+                return event._value
+            raise event._value
+        if stop_event is not None:
+            raise RuntimeError(
+                "event queue ran dry before the until-event triggered")
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None
+
+    def _stop_callback(self, event: Event) -> None:
+        event._defused = True
+        raise StopSimulation(event)

@@ -1,0 +1,348 @@
+"""Contended resources: capacity-limited servers, levels, and object stores.
+
+These model the shared entities of the paper's experiment domains — machine
+slots in a cluster, upload capacity of a BitTorrent peer, function instances
+in a FaaS pool, game-server CPU, and so on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, Interrupt
+
+
+class Preempted(Exception):
+    """Cause attached to the interrupt a preempted user receives."""
+
+    def __init__(self, by: Any, usage_since: float):
+        super().__init__(by, usage_since)
+        self.by = by
+        self.usage_since = usage_since
+
+
+class Request(Event):
+    """A pending claim on one unit of a :class:`Resource`.
+
+    Usable as a context manager so the unit is always released::
+
+        with resource.request() as req:
+            yield req
+            ... use the resource ...
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.usage_since: Optional[float] = None
+        #: The process that issued the request (preemption target).
+        self.process = resource.env.active_process
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the unit if granted; withdraw the claim if still queued."""
+        self.resource.release(self)
+
+
+class PriorityRequest(Request):
+    """A request with a priority (lower value = more important)."""
+
+    def __init__(self, resource: "Resource", priority: float = 0,
+                 preempt: bool = True):
+        self.priority = priority
+        self.preempt = preempt
+        self.time = resource.env.now
+        super().__init__(resource)
+
+    @property
+    def key(self) -> tuple:
+        # Non-preempting requests sort after preempting ones of equal priority.
+        return (self.priority, self.time, not self.preempt)
+
+
+class Resource:
+    """A FIFO resource with fixed integer capacity."""
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {len(self.users)}/{self._capacity} "
+                f"used, {len(self.queue)} queued>")
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Units currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._trigger_queue()
+        elif request in self.queue:
+            self.queue.remove(request)
+
+    # -- internals ---------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.usage_since = self.env.now
+        request.succeed()
+
+    def _trigger_queue(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            self._grant(self.queue.pop(0))
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by request priority."""
+
+    def __init__(self, env, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._pq: list[tuple[tuple, int, PriorityRequest]] = []
+        self._tiebreak = count()
+
+    def request(self, priority: float = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority, preempt=False)
+
+    def release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._trigger_queue()
+        else:
+            self._pq = [entry for entry in self._pq if entry[2] is not request]
+            heapq.heapify(self._pq)
+
+    def _do_request(self, request: PriorityRequest) -> None:  # type: ignore[override]
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            heapq.heappush(self._pq, (request.key, next(self._tiebreak), request))
+
+    def _trigger_queue(self) -> None:
+        while self._pq and len(self.users) < self._capacity:
+            _, _, request = heapq.heappop(self._pq)
+            self._grant(request)
+
+    @property
+    def queue(self):  # type: ignore[override]
+        return [entry[2] for entry in sorted(self._pq)]
+
+    @queue.setter
+    def queue(self, value):  # pragma: no cover - base-class __init__ writes it
+        pass
+
+
+class PreemptiveResource(PriorityResource):
+    """A priority resource where urgent requests evict less-urgent users."""
+
+    def request(self, priority: float = 0,  # type: ignore[override]
+                preempt: bool = True) -> PriorityRequest:
+        return PriorityRequest(self, priority, preempt)
+
+    def _do_request(self, request: PriorityRequest) -> None:
+        if len(self.users) >= self._capacity and request.preempt:
+            # Find the weakest current user; evict if strictly weaker.
+            victim = max(
+                (u for u in self.users if isinstance(u, PriorityRequest)),
+                key=lambda u: u.key, default=None)
+            if victim is not None and victim.key > request.key:
+                self.users.remove(victim)
+                proc = getattr(victim, "process", None)
+                cause = Preempted(by=request, usage_since=victim.usage_since)
+                if proc is not None and proc.is_alive:
+                    proc.interrupt(cause)
+        super()._do_request(request)
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._dispatch()
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._dispatch()
+
+
+class Container:
+    """A continuous level between 0 and ``capacity``.
+
+    Models divisible quantities: bandwidth tokens, monetary budget, battery.
+    """
+
+    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._get_waiters: list[ContainerGet] = []
+        self._put_waiters: list[ContainerPut] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._put_waiters:
+                put = self._put_waiters[0]
+                if self._level + put.amount <= self.capacity:
+                    self._put_waiters.pop(0)
+                    self._level += put.amount
+                    put.succeed()
+                    progress = True
+            if self._get_waiters:
+                get = self._get_waiters[0]
+                if self._level >= get.amount:
+                    self._get_waiters.pop(0)
+                    self._level -= get.amount
+                    get.succeed()
+                    progress = True
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._getters.append(self)
+        store._dispatch()
+
+
+class FilterStoreGet(StoreGet):
+    def __init__(self, store: "FilterStore",
+                 predicate: Callable[[Any], bool]):
+        self.predicate = predicate
+        super().__init__(store)
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._putters.append(self)
+        store._dispatch()
+
+
+class Store:
+    """A FIFO queue of arbitrary items with optional capacity."""
+
+    def __init__(self, env, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._getters: list[StoreGet] = []
+        self._putters: list[StorePut] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self._do_put(put)
+                put.succeed()
+                progress = True
+            idx = 0
+            while idx < len(self._getters):
+                get = self._getters[idx]
+                item = self._match(get)
+                if item is _NO_MATCH:
+                    idx += 1
+                    continue
+                self._getters.pop(idx)
+                get.succeed(item)
+                progress = True
+
+    def _do_put(self, put: StorePut) -> None:
+        self.items.append(put.item)
+
+    def _match(self, get: StoreGet) -> Any:
+        if self.items:
+            return self.items.pop(0)
+        return _NO_MATCH
+
+
+_NO_MATCH = object()
+
+
+class FilterStore(Store):
+    """A store whose getters can take only items matching a predicate."""
+
+    def get(self, predicate: Callable[[Any], bool] = lambda item: True  # type: ignore[override]
+            ) -> FilterStoreGet:
+        return FilterStoreGet(self, predicate)
+
+    def _match(self, get: FilterStoreGet) -> Any:  # type: ignore[override]
+        for idx, item in enumerate(self.items):
+            if get.predicate(item):
+                return self.items.pop(idx)
+        return _NO_MATCH
+
+
+class PriorityStore(Store):
+    """A store that always yields its smallest item (heap-ordered)."""
+
+    def _do_put(self, put: StorePut) -> None:
+        heapq.heappush(self.items, put.item)
+
+    def _match(self, get: StoreGet) -> Any:
+        if self.items:
+            return heapq.heappop(self.items)
+        return _NO_MATCH

@@ -1,0 +1,49 @@
+"""Named, reproducible random-number streams.
+
+Every stochastic component of the reproduction draws from a named stream so
+that (a) runs are reproducible from a single root seed and (b) adding a new
+source of randomness does not perturb existing streams — a requirement for
+the paper's emphasis on calibration and reproducibility (Challenge C3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of independent ``numpy.random.Generator`` streams.
+
+    Streams are derived from ``(root_seed, name)`` via SHA-256, so the same
+    name always yields the same stream for a given root seed, independent of
+    creation order.
+
+    >>> streams = RandomStreams(seed=42)
+    >>> a = streams.get("arrivals")
+    >>> b = streams.get("arrivals")
+    >>> a is b
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the stream for ``name``."""
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode()).digest()
+            substream_seed = int.from_bytes(digest[:8], "little")
+            self._streams[name] = np.random.default_rng(substream_seed)
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """A child factory, itself reproducible from ``(seed, name)``."""
+        digest = hashlib.sha256(f"{self.seed}/{name}".encode()).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "little"))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

@@ -1,0 +1,236 @@
+"""Tests for autoscalers, elasticity metrics, experiment, and ranking."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.autoscaling import (
+    AUTOSCALERS,
+    Adapt,
+    ConPaaS,
+    ExperimentConfig,
+    Hist,
+    Plan,
+    React,
+    Reg,
+    Token,
+    elasticity_metrics,
+    fractional_scores,
+    grade_autoscalers,
+    make_autoscaler,
+    pairwise_wins,
+    run_autoscaling_experiment,
+)
+from repro.autoscaling.autoscalers import WorkflowView
+from repro.sim import RandomStreams
+from repro.workload import generate_workflow_workload
+
+
+def compressed_workflows(seed=5, n=8, factor=0.02):
+    rng = RandomStreams(seed=seed).get("as")
+    wfs = generate_workflow_workload(rng, n_workflows=n,
+                                     horizon_s=30 * 86400)
+    first = min(w.submit_time for w in wfs)
+    for w in wfs:
+        new_submit = first + (w.submit_time - first) * factor
+        w.submit_time = new_submit
+        for t in w.tasks:
+            t.submit_time = new_submit
+    return wfs
+
+
+class TestAutoscalerDecisions:
+    def test_react_follows_demand(self):
+        assert React().decide([5, 10, 20], 7) == 20
+        assert React().decide([], 7) == 0.0
+
+    def test_adapt_moves_partially(self):
+        scaler = Adapt(gain=0.5, deadband=0.0)
+        assert scaler.decide([20], 10) == 15.0
+
+    def test_adapt_deadband_suppresses_small_changes(self):
+        scaler = Adapt(gain=1.0, deadband=0.2)
+        assert scaler.decide([10.5], 10) == 10  # within 20% band
+
+    def test_hist_uses_same_phase_history(self):
+        scaler = Hist(period_steps=4, percentile=100)
+        # History of 8 steps: phase-0 values are at idx 0 and 4.
+        history = [100, 1, 1, 1, 50, 1, 1, 1]
+        # n=8, phase=0 -> values [100, 50] -> p100 = 100.
+        assert scaler.decide(history, 0) == 100.0
+
+    def test_reg_extrapolates_trend(self):
+        scaler = Reg(window=4, horizon=2)
+        assert scaler.decide([0, 10, 20, 30], 0) == pytest.approx(50.0)
+
+    def test_conpaas_percentile(self):
+        scaler = ConPaaS(window=10, percentile=50)
+        assert scaler.decide(list(range(10)), 0) == pytest.approx(4.5)
+
+    def test_workflow_aware_require_view(self):
+        with pytest.raises(ValueError):
+            Plan().decide([1], 1, None)
+        with pytest.raises(ValueError):
+            Token().decide([1], 1, None)
+
+    def test_plan_counts_lookahead_fully(self):
+        view = WorkflowView(running_cores=4, eligible_cores=2,
+                            next_level_cores=6)
+        assert Plan().decide([], 0, view) == 12.0
+        assert Token(token_depth=0.5).decide([], 0, view) == 9.0
+
+    def test_factory(self):
+        for name in AUTOSCALERS:
+            assert make_autoscaler(name).name == name
+        with pytest.raises(KeyError):
+            make_autoscaler("skynet")
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            Adapt(gain=0)
+        with pytest.raises(ValueError):
+            Hist(period_steps=0)
+        with pytest.raises(ValueError):
+            Reg(window=1)
+        with pytest.raises(ValueError):
+            Token(token_depth=2)
+
+
+class TestElasticityMetrics:
+    def test_perfect_supply_scores_zero(self):
+        demand = [5, 10, 15, 10]
+        metrics = elasticity_metrics(demand, demand)
+        assert metrics["accuracy_under"] == 0.0
+        assert metrics["accuracy_over"] == 0.0
+        assert metrics["timeshare_under"] == 0.0
+        assert metrics["avg_utilization"] == 1.0
+
+    def test_underprovisioning_detected(self):
+        metrics = elasticity_metrics([10, 10], [5, 5])
+        assert metrics["accuracy_under"] == pytest.approx(0.5)
+        assert metrics["timeshare_under"] == 1.0
+        assert metrics["under_volume"] == 10.0
+
+    def test_overprovisioning_detected(self):
+        metrics = elasticity_metrics([10, 10], [20, 20])
+        assert metrics["accuracy_over"] == pytest.approx(1.0)
+        assert metrics["timeshare_over"] == 1.0
+        assert metrics["avg_utilization"] == 0.5
+
+    def test_instability_counts_opposite_moves(self):
+        # Demand rises while supply falls at every step.
+        metrics = elasticity_metrics([1, 2, 3, 4], [9, 8, 7, 6])
+        assert metrics["instability"] == 1.0
+
+    def test_jitter_counts_adaptations(self):
+        metrics = elasticity_metrics([1, 1, 1, 1], [1, 2, 2, 3])
+        assert metrics["jitter"] == pytest.approx(2 / 3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            elasticity_metrics([1, 2], [1])
+
+    def test_all_ten_metrics_present(self):
+        from repro.autoscaling import ELASTICITY_METRIC_NAMES
+        metrics = elasticity_metrics([1, 2], [2, 1])
+        assert set(metrics) == set(ELASTICITY_METRIC_NAMES)
+        assert len(ELASTICITY_METRIC_NAMES) == 10
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def workflows(self):
+        return compressed_workflows()
+
+    def _run(self, workflows, name, **cfg):
+        config = ExperimentConfig(**cfg) if cfg else ExperimentConfig()
+        return run_autoscaling_experiment(
+            copy.deepcopy(workflows), make_autoscaler(name), config)
+
+    def test_all_autoscalers_complete(self, workflows):
+        for name in AUTOSCALERS:
+            result = self._run(workflows, name)
+            assert result.n_workflows == len(workflows)
+            assert result.resource_seconds > 0
+
+    def test_workflow_aware_underprovision_less(self, workflows):
+        """[126]'s headline: workflow-aware autoscalers nearly eliminate
+        under-provisioning by anticipating unlocking tasks."""
+        react = self._run(workflows, "react")
+        plan = self._run(workflows, "plan")
+        assert plan.metrics["accuracy_under"] < (
+            react.metrics["accuracy_under"])
+
+    def test_plan_overprovisions_more_than_token(self, workflows):
+        plan = self._run(workflows, "plan")
+        token = self._run(workflows, "token")
+        assert token.metrics["accuracy_over"] <= (
+            plan.metrics["accuracy_over"])
+
+    def test_provisioning_delay_hurts_react(self, workflows):
+        fast = self._run(workflows, "react", provisioning_delay_steps=0)
+        slow = self._run(workflows, "react", provisioning_delay_steps=8)
+        assert slow.metrics["under_volume"] > fast.metrics["under_volume"]
+
+    def test_costs_ordered(self, workflows):
+        result = self._run(workflows, "react")
+        assert result.cost_hourly >= result.cost_continuous > 0
+
+    def test_deadlines_computed_per_workflow(self, workflows):
+        result = self._run(workflows, "react")
+        assert set(result.deadlines) == {w.job_id for w in workflows}
+        assert 0 <= result.sla_violation_rate <= 1
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_autoscaling_experiment([], React())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(step_s=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(provisioning_delay_steps=-1)
+
+
+class TestRanking:
+    @pytest.fixture(scope="class")
+    def results(self):
+        workflows = compressed_workflows()
+        out = {}
+        for name in ("react", "plan", "hist"):
+            out[name] = run_autoscaling_experiment(
+                copy.deepcopy(workflows), make_autoscaler(name),
+                ExperimentConfig())
+        return out
+
+    def test_pairwise_wins_counts(self, results):
+        wins = pairwise_wins(results)
+        assert set(wins) == set(results)
+        # Every pair contests 10 metrics; ties possible but bounded.
+        assert sum(wins.values()) <= 10 * 3  # 3 pairs
+
+    def test_pairwise_needs_two(self, results):
+        with pytest.raises(ValueError):
+            pairwise_wins({"react": results["react"]})
+
+    def test_fractional_scores_bounded(self, results):
+        scores = fractional_scores(results)
+        for value in scores.values():
+            assert 0 < value <= 1.0
+
+    def test_best_on_all_metrics_scores_one(self, results):
+        solo = fractional_scores({"react": results["react"]})
+        assert solo["react"] == pytest.approx(1.0)
+
+    def test_grades_weighted(self, results):
+        grades = grade_autoscalers(results)
+        assert all(0 <= g <= 1 for g in grades.values())
+        with pytest.raises(ValueError):
+            grade_autoscalers(results, elasticity_weight=0.9,
+                              sla_weight=0.9, cost_weight=0.9)
+
+    def test_grading_rewards_cheap_compliant(self, results):
+        grades = grade_autoscalers(results)
+        # Hist badly overprovisions here -> should not out-grade react.
+        assert grades["react"] >= grades["hist"]

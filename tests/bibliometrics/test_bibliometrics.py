@@ -1,0 +1,180 @@
+"""Tests for the bibliometric evidence (Figures 1-3)."""
+
+import pytest
+
+from repro.bibliometrics import (
+    Paper,
+    Review,
+    VENUES,
+    design_articles_per_block,
+    generate_corpus,
+    generate_review_corpus,
+    keyword_presence,
+    review_score_distributions,
+    score_findings,
+)
+from repro.bibliometrics.corpus import design_share
+from repro.bibliometrics.keywords import design_rank_among_keywords
+from repro.bibliometrics.trends import (
+    blocks_since,
+    marked_increase_since,
+    trend_is_increasing,
+)
+from repro.sim import RandomStreams
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = RandomStreams(seed=1).get("corpus")
+    return generate_corpus(rng)
+
+
+@pytest.fixture(scope="module")
+def review_corpus():
+    rng = RandomStreams(seed=2).get("reviews")
+    return generate_review_corpus(rng, n_papers=600)
+
+
+class TestCorpus:
+    def test_censoring_respects_venue_start(self, corpus):
+        for paper in corpus:
+            assert paper.year >= VENUES[paper.venue].first_year
+
+    def test_icdcs_present_from_1980(self, corpus):
+        years = {p.year for p in corpus if p.venue == "ICDCS"}
+        assert 1980 in years
+        assert 2018 in years
+
+    def test_design_share_rises(self):
+        assert design_share(1985) < design_share(2000) < design_share(2015)
+
+    def test_marked_ramp_after_2000(self):
+        pre = design_share(2000) - design_share(1990)
+        post = design_share(2010) - design_share(2000)
+        assert post > pre
+
+    def test_invalid_year_range(self):
+        rng = RandomStreams(seed=3).get("c")
+        with pytest.raises(ValueError):
+            generate_corpus(rng, first_year=2000, last_year=1990)
+
+
+class TestFigure1:
+    def test_presence_matrix_shape(self, corpus):
+        presence = keyword_presence(corpus, by="venue")
+        assert set(presence) == set(VENUES)
+        for row in presence.values():
+            assert "design" in row
+            assert all(0 <= v <= 1 for v in row.values())
+
+    def test_design_is_a_common_keyword(self, corpus):
+        """Fig. 1's claim: design ranks among the top keywords."""
+        presence = keyword_presence(corpus, by="venue")
+        ranks = design_rank_among_keywords(presence)
+        assert all(rank <= 4 for rank in ranks.values())
+
+    def test_decade_grouping(self, corpus):
+        presence = keyword_presence(corpus, by="decade")
+        decades = sorted(presence)
+        assert decades[0] == "1980s"
+        # Design presence grows by decade.
+        assert presence["2010s"]["design"] > presence["1980s"]["design"]
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            keyword_presence([])
+
+    def test_invalid_grouping(self, corpus):
+        with pytest.raises(ValueError):
+            keyword_presence(corpus, by="country")
+
+
+class TestFigure2:
+    def test_blocks(self):
+        blocks = blocks_since(1980, 2018)
+        assert blocks[0].label == "1980-1984"
+        assert blocks[-1].label == "2015-2019"
+        assert len(blocks) == 8
+
+    def test_censored_blocks_are_none(self, corpus):
+        table = design_articles_per_block(corpus)
+        # NSDI started 2004: all blocks before 2000-2004 censored.
+        assert table["NSDI"]["1980-1984"] is None
+        assert table["NSDI"]["1995-1999"] is None
+        assert table["NSDI"]["2005-2009"] is not None
+
+    def test_icdcs_counts_all_blocks(self, corpus):
+        table = design_articles_per_block(corpus)
+        assert all(v is not None for v in table["ICDCS"].values())
+
+    def test_increasing_accumulation(self, corpus):
+        """Fig. 2: venues experience increasing design-article counts."""
+        table = design_articles_per_block(corpus)
+        increasing = [venue for venue, row in table.items()
+                      if trend_is_increasing(row)]
+        assert "ICDCS" in increasing
+        assert len(increasing) >= len(table) // 2
+
+    def test_marked_increase_since_2000(self, corpus):
+        assert marked_increase_since(corpus, 2000) > 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            design_articles_per_block([])
+
+
+class TestFigure3:
+    def test_review_validation(self):
+        with pytest.raises(ValueError):
+            Review(merit=5, quality=2, topic=2)
+        with pytest.raises(ValueError):
+            Review(merit=0, quality=2, topic=2)
+
+    def test_scores_in_range(self, review_corpus):
+        for paper in review_corpus:
+            assert len(paper.reviews) >= 3
+            for aspect in ("merit", "quality", "topic"):
+                assert 1 <= paper.score(aspect) <= 4
+
+    def test_distribution_structure(self, review_corpus):
+        dists = review_score_distributions(review_corpus)
+        assert set(dists) == {"merit", "quality", "topic"}
+        for group_stats in dists["merit"].values():
+            assert {"mean", "median", "q1", "q3",
+                    "whisker_low"} <= set(group_stats)
+
+    def test_finding1_design_slightly_better_merit(self, review_corpus):
+        findings = score_findings(review_corpus)
+        assert findings["finding1_design_merit_better"]
+        # 'Slightly': the gap is real but small.
+        gap = (findings["design_merit_mean"]
+               - findings["non_design_merit_mean"])
+        assert 0 < gap < 0.5
+
+    def test_finding2_many_design_papers_below_3(self, review_corpus):
+        """The surprising finding: a significant share of design papers
+        at a top venue score well below 3."""
+        findings = score_findings(review_corpus)
+        assert findings["finding2_share_below_3"] > 0.3
+
+    def test_topic_scores_high(self, review_corpus):
+        """Fig. 3 (right): submissions match the CfP topics closely."""
+        findings = score_findings(review_corpus)
+        assert findings["topic_scores_high"]
+
+    def test_accept_rate_selectivity(self, review_corpus):
+        accepted = [p for p in review_corpus if p.accepted]
+        rejected = [p for p in review_corpus if not p.accepted]
+        assert len(accepted) == pytest.approx(0.2 * len(review_corpus),
+                                              abs=1)
+        import numpy as np
+        assert np.mean([p.score("merit") for p in accepted]) > np.mean(
+            [p.score("merit") for p in rejected])
+
+    def test_unknown_aspect_rejected(self, review_corpus):
+        with pytest.raises(KeyError):
+            review_corpus[0].score("vibes")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            review_score_distributions([])

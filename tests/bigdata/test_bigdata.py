@@ -1,0 +1,182 @@
+"""Tests for the MapReduce engine, vicissitude, and Fawkes."""
+
+import numpy as np
+import pytest
+
+from repro.bigdata import (
+    FawkesAllocator,
+    MRCluster,
+    MRJob,
+    MRPhase,
+    MRSimulator,
+    StaticAllocator,
+    detect_vicissitude,
+    run_fawkes_experiment,
+    run_vicissitude_experiment,
+)
+from repro.bigdata.mapreduce import (
+    PHASE_PROFILES,
+    PhaseDemand,
+    generate_mr_jobs,
+    solo_makespans,
+)
+
+
+def job(name="j", map_work=100, shuffle_work=80, reduce_work=50,
+        submit=0.0, parallelism=8):
+    return MRJob(name=name, map_work=map_work, shuffle_work=shuffle_work,
+                 reduce_work=reduce_work, submit_time=submit,
+                 parallelism=parallelism)
+
+
+class TestMRJob:
+    def test_phase_sequence(self):
+        assert MRPhase.PENDING.next_phase() is MRPhase.MAP
+        assert MRPhase.MAP.next_phase() is MRPhase.SHUFFLE
+        assert MRPhase.REDUCE.next_phase() is MRPhase.DONE
+
+    def test_invalid_work_rejected(self):
+        with pytest.raises(ValueError):
+            job(map_work=0)
+
+    def test_phase_profiles_dominants(self):
+        assert PHASE_PROFILES[MRPhase.MAP].dominant == "cpu"
+        assert PHASE_PROFILES[MRPhase.SHUFFLE].dominant == "network"
+        assert PHASE_PROFILES[MRPhase.REDUCE].dominant == "cpu"
+
+    def test_phase_demand_of(self):
+        d = PhaseDemand(cpu=1, disk=2, network=3)
+        assert d.of("disk") == 2
+        assert d.dominant == "network"
+
+
+class TestMRSimulator:
+    def test_single_job_completes_all_phases(self):
+        sim = MRSimulator(MRCluster("c"), [job()], step_s=1.0)
+        sim.run()
+        j = sim.jobs[0]
+        assert j.done
+        assert j.makespan > 0
+        assert set(j.phase_times) == {"map", "shuffle", "reduce"}
+        assert (j.phase_times["map"] < j.phase_times["shuffle"]
+                < j.phase_times["reduce"])
+
+    def test_uncontended_runtime_matches_analytics(self):
+        """One 8-wide job on an ample cluster: each phase runs at full
+        demand rate, so phase time = work / (rate × parallelism)."""
+        cluster = MRCluster("c", cpu=1000, disk=1000, network=1000)
+        j = job(map_work=80, shuffle_work=40, reduce_work=36,
+                parallelism=8)
+        sim = MRSimulator(cluster, [j], step_s=1.0)
+        sim.run()
+        # map: 80/(1.0*8)=10; shuffle: 40/(1.0*8)=5; reduce: 36/(0.9*8)=5.
+        assert j.makespan == pytest.approx(20.0, abs=3.0)
+
+    def test_contention_slows_jobs(self):
+        cluster = MRCluster("c", cpu=8, disk=8, network=8)
+        solo = solo_makespans(cluster, [job(name="a")], step_s=1.0)
+        contended_jobs = [job(name="a"), job(name="b"), job(name="c")]
+        sim = MRSimulator(cluster, contended_jobs, step_s=1.0)
+        sim.run()
+        slowdown = sim.mean_slowdown(
+            {**solo,
+             **solo_makespans(cluster, contended_jobs[1:], step_s=1.0)})
+        assert slowdown > 1.3
+
+    def test_utilization_bounded(self):
+        sim = MRSimulator(MRCluster("c", cpu=4, disk=4, network=4),
+                          [job(), job(name="k")], step_s=1.0)
+        sim.run()
+        for series in sim.utilization.values():
+            assert all(0.0 <= u <= 1.0 + 1e-9 for u in series)
+
+    def test_no_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            MRSimulator(MRCluster("c"), []).run()
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            MRSimulator(MRCluster("c"), [job()], step_s=0)
+
+    def test_generate_jobs_shapes(self):
+        rng = np.random.default_rng(1)
+        jobs = generate_mr_jobs(rng, n_jobs=10)
+        assert len(jobs) == 10
+        submits = [j.submit_time for j in jobs]
+        assert submits == sorted(submits)
+        assert all(j.shuffle_work > 0 for j in jobs)
+
+    def test_bottleneck_series_aligns_with_time(self):
+        sim = MRSimulator(MRCluster("c", cpu=6, disk=5, network=4),
+                          [job()], step_s=1.0)
+        sim.run()
+        series = sim.bottleneck_series()
+        assert len(series) == len(sim.times)
+
+
+class TestVicissitude:
+    def test_contended_regime_shows_vicissitude(self):
+        trace = run_vicissitude_experiment(seed=3,
+                                           concurrency="contended")
+        assert trace.is_vicissitude
+        assert trace.distinct_bottlenecks >= 2
+        assert trace.entropy_bits > 0.5
+
+    def test_solo_regime_does_not(self):
+        trace = run_vicissitude_experiment(seed=3, concurrency="solo")
+        assert not trace.is_vicissitude
+        assert trace.shifts <= 2
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ValueError):
+            run_vicissitude_experiment(concurrency="quantum")
+
+    def test_detect_on_synthetic_series(self):
+        series = ["cpu"] * 5 + [None] * 2 + ["network"] * 5 + ["disk"] * 5
+        trace = detect_vicissitude(series)
+        assert trace.distinct_bottlenecks == 3
+        assert trace.shifts == 2
+        assert trace.busy_fraction == pytest.approx(15 / 17)
+        assert sum(trace.time_share.values()) == pytest.approx(1.0)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            detect_vicissitude([])
+
+    def test_single_bottleneck_zero_entropy(self):
+        trace = detect_vicissitude(["cpu"] * 10)
+        assert trace.entropy_bits == 0.0
+        assert not trace.is_vicissitude
+
+
+class TestFawkes:
+    def test_static_weights_equal(self):
+        weights = StaticAllocator().weights({"a": 100.0, "b": 0.0})
+        assert weights == {"a": 0.5, "b": 0.5}
+
+    def test_fawkes_weights_follow_demand(self):
+        weights = FawkesAllocator(min_share=0.1).weights(
+            {"a": 300.0, "b": 100.0})
+        assert weights["a"] > weights["b"]
+        assert weights["b"] >= 0.1
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_fawkes_idle_demand_falls_back_to_equal(self):
+        weights = FawkesAllocator().weights({"a": 0.0, "b": 0.0})
+        assert weights == {"a": 0.5, "b": 0.5}
+
+    def test_min_share_validation(self):
+        with pytest.raises(ValueError):
+            FawkesAllocator(min_share=1.0)
+
+    def test_fawkes_beats_static_on_imbalanced_tenants(self):
+        """The [94] finding: dynamic balancing helps the bursty tenant
+        without hurting the light one."""
+        static = run_fawkes_experiment(StaticAllocator(), seed=4)
+        fawkes = run_fawkes_experiment(FawkesAllocator(), seed=4)
+        assert fawkes.per_tenant_slowdown["heavy"] < (
+            static.per_tenant_slowdown["heavy"])
+        assert fawkes.per_tenant_slowdown["light"] <= (
+            static.per_tenant_slowdown["light"] * 1.2)
+        assert fawkes.mean_slowdown < static.mean_slowdown
+        assert fawkes.max_slowdown < static.max_slowdown

@@ -1,0 +1,182 @@
+"""Tests for the IaaS cloud, cost models, and failure injection."""
+
+import pytest
+
+from repro.cluster import Cloud, Cluster, CostModel, FailureInjector, VMState
+from repro.cluster.cloud import CapacityError
+from repro.cluster.cost import (
+    ON_DEMAND_PRICING,
+    PER_SECOND_PRICING,
+    RESERVED_PRICING,
+    cheapest_for,
+)
+from repro.sim import Environment, Monitor, RandomStreams
+
+
+class TestCostModel:
+    def test_hourly_rounds_up(self):
+        model = CostModel("h", price_per_hour=1.0)
+        assert model.charge(1) == 1.0          # 1s -> 1 hour
+        assert model.charge(3600) == 1.0
+        assert model.charge(3601) == 2.0
+
+    def test_per_second_minimum_charge(self):
+        assert PER_SECOND_PRICING.charge(10) == pytest.approx(
+            60 / 3600 * PER_SECOND_PRICING.price_per_hour)
+
+    def test_reserved_upfront(self):
+        cost = RESERVED_PRICING.charge(3600)
+        assert cost == pytest.approx(
+            RESERVED_PRICING.upfront + RESERVED_PRICING.price_per_hour)
+
+    def test_multiple_instances(self):
+        model = CostModel("h", price_per_hour=2.0)
+        assert model.charge(3600, instances=3) == 6.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ON_DEMAND_PRICING.charge(-1)
+
+    def test_charge_intervals(self):
+        model = CostModel("h", price_per_hour=1.0)
+        assert model.charge_intervals([(0, 3600), (7200, 10800)]) == 2.0
+
+    def test_cheapest_for_short_job_prefers_ondemand(self):
+        models = [ON_DEMAND_PRICING, RESERVED_PRICING]
+        best, _ = cheapest_for(1800, models)
+        assert best.name == "on-demand-hourly"
+
+    def test_cheapest_for_long_job_prefers_reserved(self):
+        models = [ON_DEMAND_PRICING, RESERVED_PRICING]
+        best, _ = cheapest_for(20 * 3600, models)
+        assert best.name == "reserved"
+
+    def test_cheapest_empty_raises(self):
+        with pytest.raises(ValueError):
+            cheapest_for(10, [])
+
+
+class TestCloud:
+    def test_provisioning_delay_observed(self):
+        env = Environment()
+        cloud = Cloud(env, provisioning_delay_s=120)
+        times = {}
+
+        def user(env, cloud):
+            req = cloud.provision()
+            vm = yield req.event
+            times["running"] = env.now
+            assert vm.state is VMState.RUNNING
+
+        env.process(user(env, cloud))
+        env.run()
+        assert times["running"] == 120
+
+    def test_capacity_enforced(self):
+        env = Environment()
+        cloud = Cloud(env, capacity=2)
+        cloud.provision()
+        cloud.provision()
+        with pytest.raises(CapacityError):
+            cloud.provision()
+
+    def test_terminate_records_billing(self):
+        env = Environment()
+        cloud = Cloud(env, provisioning_delay_s=60,
+                      deprovisioning_delay_s=0,
+                      cost_model=CostModel("h", price_per_hour=1.0))
+
+        def scenario(env, cloud):
+            req = cloud.provision()
+            vm = yield req.event
+            yield env.timeout(3000)
+            cloud.terminate(vm)
+
+        env.process(scenario(env, cloud))
+        env.run()
+        assert len(cloud.billed_intervals) == 1
+        # 60s boot + 3000s use = 3060s -> 1 billed hour.
+        assert cloud.total_cost() == 1.0
+
+    def test_terminate_idempotent(self):
+        env = Environment()
+        cloud = Cloud(env)
+
+        def scenario(env, cloud):
+            req = cloud.provision()
+            vm = yield req.event
+            cloud.terminate(vm)
+            cloud.terminate(vm)
+
+        env.process(scenario(env, cloud))
+        env.run()
+        assert len(cloud.billed_intervals) == 1
+
+    def test_running_cores_tracks_instances(self):
+        env = Environment()
+        cloud = Cloud(env, provisioning_delay_s=10, cores_per_vm=4)
+
+        def scenario(env, cloud):
+            reqs = [cloud.provision() for _ in range(3)]
+            for req in reqs:
+                yield req.event
+            assert cloud.running_cores() == 12
+
+        env.process(scenario(env, cloud))
+        env.run()
+
+    def test_open_instances_accrue_cost(self):
+        env = Environment()
+        cloud = Cloud(env, provisioning_delay_s=0,
+                      cost_model=CostModel("h", price_per_hour=1.0))
+
+        def scenario(env, cloud):
+            req = cloud.provision()
+            yield req.event
+            yield env.timeout(7200)
+
+        env.process(scenario(env, cloud))
+        env.run()
+        assert cloud.total_cost() == 2.0
+
+
+class TestFailureInjector:
+    def test_failures_and_repairs_happen(self):
+        env = Environment()
+        cluster = Cluster.homogeneous("c", 20, cores=4)
+        rng = RandomStreams(seed=1).get("failures")
+        mon = Monitor(env)
+        injector = FailureInjector(env, cluster, rng, mtbf_s=100.0,
+                                   mttr_s=20.0, monitor=mon)
+        env.run(until=2000)
+        assert injector.failures > 0
+        assert injector.repairs > 0
+        assert 0 < injector.availability() <= 1.0
+        assert mon.counters["machine_failures"].total == injector.failures
+
+    def test_on_failure_callback_invoked(self):
+        env = Environment()
+        cluster = Cluster.homogeneous("c", 5)
+        rng = RandomStreams(seed=2).get("failures")
+        victims = []
+        FailureInjector(env, cluster, rng, mtbf_s=50.0, mttr_s=10.0,
+                        on_failure=victims.append)
+        env.run(until=500)
+        assert victims, "expected at least one failure in 10×MTBF"
+
+    def test_invalid_params_rejected(self):
+        env = Environment()
+        cluster = Cluster.homogeneous("c", 1)
+        rng = RandomStreams().get("f")
+        with pytest.raises(ValueError):
+            FailureInjector(env, cluster, rng, mtbf_s=0)
+
+    def test_repaired_machine_is_clean(self):
+        env = Environment()
+        cluster = Cluster.homogeneous("c", 3, cores=4)
+        rng = RandomStreams(seed=3).get("failures")
+        injector = FailureInjector(env, cluster, rng, mtbf_s=30.0, mttr_s=5.0)
+        env.run(until=1000)
+        for machine in cluster.up_machines():
+            assert machine.used_cores == 0
+        assert injector.repairs > 0

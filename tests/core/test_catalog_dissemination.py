@@ -1,0 +1,165 @@
+"""Tests for the framework catalogs (Tables 1-3) and dissemination (§3.6)."""
+
+import pytest
+
+from repro.core import (
+    ALTSHULLER_LEVELS,
+    Artifact,
+    ArtifactKind,
+    CHALLENGES,
+    CreativityLevel,
+    DisseminationPlan,
+    FAIR_CHECKLIST,
+    FRAMEWORK_OVERVIEW,
+    PERFORMANCE_BASELINES,
+    PRINCIPLES,
+    PROBLEM_ARCHETYPES,
+    PROBLEM_SOURCES,
+    assess_creativity,
+    challenges_for_principle,
+)
+
+
+class TestPrinciples:
+    def test_eight_principles(self):
+        assert len(PRINCIPLES) == 8
+        assert set(PRINCIPLES) == {f"P{i}" for i in range(1, 9)}
+
+    def test_category_distribution_matches_table2(self):
+        by_cat = {}
+        for p in PRINCIPLES.values():
+            by_cat.setdefault(p.category, []).append(p.index)
+        assert by_cat["Highest"] == ["P1"]
+        assert sorted(by_cat["Systems"]) == ["P2", "P3", "P4"]
+        assert sorted(by_cat["Peopleware"]) == ["P5", "P6"]
+        assert sorted(by_cat["Methodology"]) == ["P7", "P8"]
+
+    def test_highest_principle_is_design_of_design(self):
+        assert "design" in PRINCIPLES["P1"].statement.lower()
+        assert PRINCIPLES["P1"].key_aspects == "design of design"
+
+
+class TestChallenges:
+    def test_ten_challenges(self):
+        assert len(CHALLENGES) == 10
+        assert set(CHALLENGES) == {f"C{i}" for i in range(1, 11)}
+
+    def test_every_challenge_links_valid_principles(self):
+        for c in CHALLENGES.values():
+            assert c.principles, f"{c.index} links no principle"
+            for p in c.principles:
+                assert p in PRINCIPLES, f"{c.index} links unknown {p}"
+
+    def test_table3_principle_column(self):
+        assert CHALLENGES["C5"].principles == ("P3", "P4")
+        assert CHALLENGES["C8"].principles == ("P5", "P6", "P7")
+        assert CHALLENGES["C10"].principles == ("P7",)
+
+    def test_challenges_for_principle(self):
+        c_for_p1 = {c.index for c in challenges_for_principle("P1")}
+        assert c_for_p1 == {"C1", "C2", "C3"}
+        c_for_p7 = {c.index for c in challenges_for_principle("P7")}
+        assert c_for_p7 == {"C8", "C9", "C10"}
+
+    def test_unknown_principle_rejected(self):
+        with pytest.raises(KeyError):
+            challenges_for_principle("P99")
+
+    def test_category_counts(self):
+        cats = {}
+        for c in CHALLENGES.values():
+            cats[c.category] = cats.get(c.category, 0) + 1
+        assert cats == {"Highest": 3, "Systems": 2, "Peopleware": 2,
+                        "Methodology": 3}
+
+
+class TestFrameworkOverview:
+    def test_table1_rows(self):
+        assert set(FRAMEWORK_OVERVIEW) == {"Who?", "What?", "How?"}
+        assert "Stakeholders" in FRAMEWORK_OVERVIEW["Who?"]
+        assert len(FRAMEWORK_OVERVIEW["How?"]) == 5
+
+    def test_central_paradigm_statement(self):
+        assert "different from science and engineering" in (
+            FRAMEWORK_OVERVIEW["What?"]["Central Paradigm"])
+
+
+class TestProblemArchetypes:
+    def test_five_archetypes(self):
+        assert set(PROBLEM_ARCHETYPES) == {f"P{i}" for i in range(1, 6)}
+
+    def test_sources_wired(self):
+        for idx in ("P1", "P2", "P3"):
+            assert set(PROBLEM_ARCHETYPES[idx].finding) == {"S1", "S2", "S3"}
+        assert PROBLEM_ARCHETYPES["P4"].finding == (
+            "empirical-science-process",)
+
+    def test_three_sources(self):
+        assert set(PROBLEM_SOURCES) == {"S1", "S2", "S3"}
+
+
+class TestAltshuller:
+    def test_five_levels_described(self):
+        assert len(ALTSHULLER_LEVELS) == 5
+        assert ALTSHULLER_LEVELS[CreativityLevel.OUTSTANDING].startswith(
+            "a completely new ecosystem")
+
+    def test_four_performance_baselines(self):
+        assert len(PERFORMANCE_BASELINES) == 4
+        assert "random design" in PERFORMANCE_BASELINES
+
+    def test_assessment_ladder(self):
+        assert assess_creativity(True, 0.05, False, False) is (
+            CreativityLevel.TRIVIAL)
+        assert assess_creativity(True, 0.2, False, False) is (
+            CreativityLevel.NORMAL)
+        assert assess_creativity(True, 0.6, False, False) is (
+            CreativityLevel.NOVEL)
+        assert assess_creativity(False, 0.5, True, False) is (
+            CreativityLevel.FUNDAMENTAL)
+        assert assess_creativity(False, 0.0, False, True) is (
+            CreativityLevel.OUTSTANDING)
+
+    def test_new_ecosystem_dominates(self):
+        assert assess_creativity(True, 0.1, True, True) is (
+            CreativityLevel.OUTSTANDING)
+
+    def test_extent_validation(self):
+        with pytest.raises(ValueError):
+            assess_creativity(True, 1.5, False, False)
+
+
+class TestDissemination:
+    def test_artifact_checklist_lifecycle(self):
+        artifact = Artifact(ArtifactKind.SOFTWARE, "graphalytics")
+        assert not artifact.release_ready
+        for item in artifact.checklist:
+            artifact.check(item)
+        assert artifact.release_ready
+        assert artifact.completeness == 1.0
+
+    def test_unknown_checklist_item_rejected(self):
+        artifact = Artifact(ArtifactKind.ARTICLE, "paper")
+        with pytest.raises(KeyError):
+            artifact.check("has nice fonts")
+
+    def test_data_artifact_uses_fair(self):
+        artifact = Artifact(ArtifactKind.DATA, "p2p-trace-archive")
+        assert artifact.checklist == FAIR_CHECKLIST
+
+    def test_plan_covers_all_kinds(self):
+        plan = DisseminationPlan("graphalytics")
+        plan.add(ArtifactKind.ARTICLE, "PVLDB paper")
+        assert not plan.covers_all_kinds
+        plan.add(ArtifactKind.SOFTWARE, "graphalytics 1.0")
+        plan.add(ArtifactKind.DATA, "benchmark datasets")
+        assert plan.covers_all_kinds
+
+    def test_release_report(self):
+        plan = DisseminationPlan("x")
+        artifact = plan.add(ArtifactKind.ARTICLE, "paper")
+        artifact.check(artifact.checklist[0])
+        report = plan.release_report()
+        assert report["paper"]["ready"] is False
+        assert 0 < report["paper"]["completeness"] < 1
+        assert len(report["paper"]["missing"]) == len(artifact.checklist) - 1

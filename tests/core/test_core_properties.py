@@ -1,0 +1,78 @@
+"""Property-based tests for design spaces and exploration invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DesignProblem,
+    DesignSpace,
+    Dimension,
+    FreeExploration,
+    RuggedLandscape,
+)
+from repro.sim import RandomStreams
+
+
+def space_strategy():
+    return st.lists(
+        st.integers(min_value=2, max_value=5),
+        min_size=2, max_size=6,
+    ).map(lambda sizes: DesignSpace([
+        Dimension(f"d{i}", tuple(f"o{j}" for j in range(n)))
+        for i, n in enumerate(sizes)
+    ]))
+
+
+@given(space=space_strategy())
+@settings(max_examples=30, deadline=None)
+def test_space_size_equals_product(space):
+    assert space.size == len(list(space.all_candidates()))
+
+
+@given(space=space_strategy(), seed=st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_neighbors_are_symmetric_and_distinct(space, seed):
+    rng = RandomStreams(seed).get("c")
+    candidate = space.random_candidate(rng)
+    neighbors = space.neighbors(candidate)
+    expected = sum(len(d.options) - 1 for d in space.dimensions)
+    assert len(neighbors) == expected
+    for n in neighbors:
+        assert candidate in space.neighbors(n)  # symmetry
+        assert n != candidate
+
+
+@given(space=space_strategy(), seed=st.integers(0, 10**6),
+       k=st.integers(0, 2))
+@settings(max_examples=30, deadline=None)
+def test_landscape_deterministic_and_bounded(space, seed, k):
+    k = min(k, len(space.dimensions) - 1)
+    l1 = RuggedLandscape(space, seed=seed, k=k)
+    l2 = RuggedLandscape(space, seed=seed, k=k)
+    rng = RandomStreams(seed).get("cands")
+    for _ in range(5):
+        c = space.random_candidate(rng)
+        v = l1(c)
+        assert 0.0 <= v <= 1.0
+        assert v == l2(c)
+
+
+@given(space=space_strategy(), seed=st.integers(0, 10**6),
+       budget=st.integers(1, 60),
+       threshold=st.floats(min_value=0.0, max_value=1.0,
+                           allow_nan=False))
+@settings(max_examples=30, deadline=None)
+def test_exploration_accounting_invariants(space, seed, budget, threshold):
+    """Budget is respected exactly; solutions + failures = evaluations;
+    every recorded solution satisfices."""
+    landscape = RuggedLandscape(space, seed=seed,
+                                k=min(1, len(space.dimensions) - 1))
+    problem = DesignProblem("prop", space, quality=landscape,
+                            satisfice_threshold=threshold)
+    rng = RandomStreams(seed).get("explore")
+    result = FreeExploration(rng).explore(problem, budget=budget)
+    assert result.evaluations == budget
+    assert len(result.solutions) + result.failures == budget
+    for candidate, quality in result.solutions:
+        assert quality >= threshold
+    assert problem.evaluations == budget

@@ -1,0 +1,199 @@
+"""Tests for the exploration processes (Figures 6-7)."""
+
+import pytest
+
+from repro.core import (
+    CoEvolvingExploration,
+    DesignProblem,
+    DesignSpace,
+    Dimension,
+    FixTheHowExploration,
+    FixTheWhatExploration,
+    FreeExploration,
+    RuggedLandscape,
+    compare_explorers,
+)
+from repro.sim import RandomStreams
+
+
+def make_space(n_dims=6, n_opts=4):
+    return DesignSpace([
+        Dimension(f"d{i}", tuple(f"o{j}" for j in range(n_opts)))
+        for i in range(n_dims)
+    ])
+
+
+def make_problem(seed=0, k=2, threshold=0.7, epoch=0):
+    space = make_space()
+    landscape = RuggedLandscape(space, seed=seed, k=k, epoch=epoch)
+    return DesignProblem(f"p{seed}e{epoch}", space, quality=landscape,
+                         satisfice_threshold=threshold)
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(seed=11).get("exploration")
+
+
+class TestFreeExploration:
+    def test_respects_budget(self, rng):
+        problem = make_problem()
+        result = FreeExploration(rng).explore(problem, budget=50)
+        assert result.evaluations == 50
+        assert problem.evaluations == 50
+
+    def test_finds_solutions_on_easy_problem(self, rng):
+        problem = make_problem(threshold=0.4)
+        result = FreeExploration(rng).explore(problem, budget=100)
+        assert result.succeeded
+        assert all(q >= 0.4 for _, q in result.solutions)
+
+    def test_struggles_on_hard_threshold(self, rng):
+        problem = make_problem(threshold=0.999)
+        result = FreeExploration(rng).explore(problem, budget=100)
+        assert not result.succeeded
+        assert result.failures == 100
+        assert result.best_candidate is not None  # best-so-far still tracked
+
+
+class TestFixTheWhat:
+    def test_respects_budget(self, rng):
+        problem = make_problem()
+        explorer = FixTheWhatExploration(rng, fix_fraction=0.5)
+        result = explorer.explore(problem, budget=60)
+        assert result.evaluations <= 60
+
+    def test_invalid_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FixTheWhatExploration(rng, fix_fraction=1.0)
+
+    def test_fixing_narrows_the_space(self, rng):
+        """All post-scout candidates share the fixed options."""
+        problem = make_problem(threshold=0.0)  # everything satisfices
+        explorer = FixTheWhatExploration(rng, fix_fraction=0.5,
+                                         scout_budget=4)
+        result = explorer.explore(problem, budget=40)
+        # With threshold 0, every post-scout candidate is a solution.
+        post_scout = result.solutions
+        assert post_scout
+        # Fixed dimensions -> among solutions, at least half the dimensions
+        # show a single value each.
+        dims = [d.name for d in problem.space.dimensions]
+        constant_dims = sum(
+            1 for d in dims
+            if len({c[d] for c, _ in post_scout}) == 1)
+        assert constant_dims >= len(dims) // 2
+
+
+class TestFixTheHow:
+    def test_hill_climbing_beats_random_on_smooth_landscape(self):
+        streams = RandomStreams(seed=21)
+        wins = 0
+        reps = 10
+        for rep in range(reps):
+            space = make_space(n_dims=8, n_opts=5)
+            landscape = RuggedLandscape(space, seed=100 + rep, k=0)
+            free_problem = DesignProblem("a", space, quality=landscape,
+                                         satisfice_threshold=0.99)
+            how_problem = DesignProblem("b", space, quality=landscape,
+                                        satisfice_threshold=0.99)
+            free = FreeExploration(streams.get(f"free{rep}")).explore(
+                free_problem, budget=120)
+            how = FixTheHowExploration(
+                streams.get(f"how{rep}"), restarts=3).explore(
+                    how_problem, budget=120)
+            if how.best_quality > free.best_quality:
+                wins += 1
+        assert wins >= 7, f"hill climbing won only {wins}/{reps}"
+
+    def test_restart_validation(self, rng):
+        with pytest.raises(ValueError):
+            FixTheHowExploration(rng, restarts=0)
+
+    def test_budget_respected(self, rng):
+        problem = make_problem()
+        result = FixTheHowExploration(rng).explore(problem, budget=30)
+        assert result.evaluations <= 30
+
+
+class TestCoEvolving:
+    def test_poses_multiple_problems_on_stall(self, rng):
+        problem = make_problem(threshold=0.98)  # very hard -> stalls
+
+        def evolve(prob, idx):
+            return make_problem(seed=0, threshold=0.98, epoch=idx + 1)
+
+        explorer = CoEvolvingExploration(
+            rng, inner=FreeExploration(rng), evolve_problem=evolve,
+            max_problems=4, stall_iterations=1)
+        result = explorer.explore(problem, budget=200)
+        assert result.problems_posed >= 2
+        assert len(result.per_problem_best) == result.problems_posed
+
+    def test_stops_when_evolve_returns_none(self, rng):
+        problem = make_problem(threshold=0.99)
+        explorer = CoEvolvingExploration(
+            rng, inner=FreeExploration(rng),
+            evolve_problem=lambda p, i: None, max_problems=10,
+            stall_iterations=1)
+        result = explorer.explore(problem, budget=500)
+        assert result.problems_posed == 1
+
+    def test_keeps_best_across_problems(self, rng):
+        problem = make_problem(threshold=0.5)
+
+        def evolve(prob, idx):
+            return make_problem(seed=0, threshold=0.5, epoch=idx + 1)
+
+        explorer = CoEvolvingExploration(
+            rng, inner=FreeExploration(rng), evolve_problem=evolve,
+            max_problems=3, stall_iterations=1)
+        result = explorer.explore(problem, budget=300)
+        assert result.best_quality == max(
+            q for _, q in result.solutions) if result.solutions else True
+
+    def test_coevolving_finds_more_solutions_on_hard_problems(self):
+        """Figure 7's claim: when a problem is too hard, evolving the
+        problem yields solutions the fixed-problem process cannot find."""
+        streams = RandomStreams(seed=31)
+        free_total, coevolve_total = 0, 0
+        for rep in range(6):
+            # A hard problem: high threshold on this epoch's landscape...
+            hard = make_problem(seed=200 + rep, threshold=0.92)
+            free = FreeExploration(streams.get(f"f{rep}"))
+            free_total += len(free.explore(hard, budget=300).solutions)
+
+            # ...but evolved epochs can have easier optima.
+            hard2 = make_problem(seed=200 + rep, threshold=0.92)
+
+            def evolve(prob, idx, rep=rep):
+                return make_problem(seed=200 + rep, threshold=0.92,
+                                    epoch=idx + 1)
+
+            co = CoEvolvingExploration(
+                streams.get(f"c{rep}"),
+                inner=FreeExploration(streams.get(f"ci{rep}")),
+                evolve_problem=evolve, max_problems=6, stall_iterations=1)
+            coevolve_total += len(co.explore(hard2, budget=300).solutions)
+        assert coevolve_total >= free_total
+
+
+class TestCompareExplorers:
+    def test_structure_of_comparison(self, rng):
+        streams = RandomStreams(seed=41)
+        explorers = {
+            "free": FreeExploration(streams.get("free")),
+            "fix-how": FixTheHowExploration(streams.get("how")),
+        }
+        table = compare_explorers(
+            lambda rep: make_problem(seed=rep, threshold=0.6),
+            explorers, budget=60, repetitions=4)
+        assert set(table) == {"free", "fix-how"}
+        for row in table.values():
+            assert 0 <= row["success_rate"] <= 1
+            assert row["mean_problems_posed"] == 1.0
+
+    def test_yield_per_evaluation(self, rng):
+        problem = make_problem(threshold=0.3)
+        result = FreeExploration(rng).explore(problem, budget=50)
+        assert result.yield_per_evaluation == len(result.solutions) / 50

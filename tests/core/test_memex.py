@@ -1,0 +1,125 @@
+"""Tests for the Distributed Systems Memex (Challenge C6)."""
+
+import pytest
+
+from repro.core import DesignDocument, Stage
+from repro.core.memex import DistributedSystemsMemex, MemexEntry
+
+
+def design_doc(name="graphalytics", with_events=True):
+    doc = DesignDocument(problem=name)
+    if with_events:
+        doc.log(0, Stage.FORMULATE_REQUIREMENTS, "executed",
+                note="benchmark must cover P, A, and D")
+        doc.log(0, Stage.DESIGN, "executed", note="PAD sweep harness")
+    return doc
+
+
+class TestIngestion:
+    def test_preserve_design_with_provenance(self):
+        memex = DistributedSystemsMemex()
+        entry = memex.preserve_design(design_doc(), year=2016,
+                                      domain="graph-processing",
+                                      keywords=["benchmark", "pad"])
+        assert entry.has_provenance
+        assert len(memex) == 1
+
+    def test_duplicate_rejected(self):
+        memex = DistributedSystemsMemex()
+        memex.preserve_design(design_doc(), 2016, "graphs")
+        with pytest.raises(ValueError):
+            memex.preserve_design(design_doc(), 2016, "graphs")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MemexEntry(kind="meme", name="x", year=2020, domain="d")
+
+    def test_preserve_trace_header(self):
+        from repro.workload import TraceArchive
+        archive = TraceArchive("p2p-2010", domain="p2p")
+        archive.add(0.0, "join")
+        memex = DistributedSystemsMemex()
+        entry = memex.preserve_trace(archive.header(), year=2010,
+                                     keywords=["bittorrent"])
+        assert entry.kind == "trace"
+        assert entry.domain == "p2p"
+
+
+class TestSearch:
+    def _memex(self):
+        memex = DistributedSystemsMemex()
+        memex.preserve_design(design_doc("btworld"), 2010, "p2p",
+                              ["monitoring"])
+        memex.preserve_design(design_doc("graphalytics"), 2016,
+                              "graph-processing", ["benchmark"])
+        memex.preserve_design(design_doc("fission-wf"), 2018,
+                              "serverless", ["workflows", "benchmark"])
+        return memex
+
+    def test_search_by_keyword(self):
+        hits = self._memex().search(keyword="benchmark")
+        assert [e.name for e in hits] == ["graphalytics", "fission-wf"]
+
+    def test_search_by_domain_and_era(self):
+        hits = self._memex().search(domain="p2p", era=(2005, 2012))
+        assert [e.name for e in hits] == ["btworld"]
+        assert self._memex().search(domain="p2p", era=(2015, 2020)) == []
+
+    def test_search_by_kind(self):
+        memex = self._memex()
+        assert len(memex.search(kind="design")) == 3
+        assert memex.search(kind="trace") == []
+
+    def test_domains_listed(self):
+        assert self._memex().domains() == ["graph-processing", "p2p",
+                                           "serverless"]
+
+
+class TestHeritageReport:
+    def test_gaps_and_provenance_detected(self):
+        memex = DistributedSystemsMemex()
+        memex.preserve_design(design_doc("early"), 1995, "p2p")
+        memex.preserve_design(design_doc("late", with_events=False), 2015,
+                              "p2p")
+        report = memex.heritage_report(1990, 2019)
+        # The 2000s decade has nothing preserved for p2p.
+        assert 2000 in report["decade_gaps"]["p2p"]
+        assert 1990 not in report["decade_gaps"]["p2p"]
+        # The design preserved without decisions is flagged (C6's second
+        # loss mode).
+        assert report["designs_without_provenance"] == ["late"]
+        assert report["provenance_coverage"] == pytest.approx(0.5)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            DistributedSystemsMemex().heritage_report(2020, 2010)
+
+    def test_empty_memex_report(self):
+        report = DistributedSystemsMemex().heritage_report(2000, 2010)
+        assert report["entries"] == 0
+        assert report["provenance_coverage"] == 1.0
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        memex = DistributedSystemsMemex("test-memex")
+        memex.preserve_design(design_doc("btworld"), 2010, "p2p",
+                              ["monitoring"])
+        memex.preserve_trace({"name": "gta", "domain": "gaming"}, 2012)
+        path = memex.save(tmp_path / "memex.jsonl")
+        loaded = DistributedSystemsMemex.load(path)
+        assert loaded.name == "test-memex"
+        assert len(loaded) == 2
+        design = loaded.search(kind="design")[0]
+        assert design.has_provenance  # provenance survived the round trip
+        assert design.payload.events[0].stage == "FORMULATE_REQUIREMENTS"
+
+    def test_truncation_detected(self, tmp_path):
+        memex = DistributedSystemsMemex()
+        memex.preserve_design(design_doc("a"), 2010, "p2p")
+        memex.preserve_design(design_doc("b"), 2011, "p2p")
+        path = memex.save(tmp_path / "m.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            DistributedSystemsMemex.load(path)

@@ -1,0 +1,107 @@
+"""Tests for problem-finding (§3.4): morphology and source collection."""
+
+import pytest
+
+from repro.core import DesignSpace, Dimension
+from repro.core.problemfinding import (
+    KnownSystem,
+    MorphologicalField,
+    ProblemCollector,
+    ProblemStatement,
+)
+
+
+def p2p_space():
+    return DesignSpace([
+        Dimension("topology", ("centralized", "p2p", "hybrid")),
+        Dimension("incentive", ("none", "tit-for-tat", "credit")),
+        Dimension("discovery", ("tracker", "dht")),
+    ])
+
+
+def known_systems():
+    return [
+        KnownSystem("bittorrent", (("topology", "p2p"),
+                                   ("incentive", "tit-for-tat"),
+                                   ("discovery", "tracker"))),
+        KnownSystem("bittorrent-dht", (("topology", "p2p"),
+                                       ("incentive", "tit-for-tat"),
+                                       ("discovery", "dht"))),
+        KnownSystem("napster", (("topology", "centralized"),)),
+    ]
+
+
+class TestMorphologicalField:
+    def test_coverage_counts_partial_assignments(self):
+        field = MorphologicalField(p2p_space(), known_systems())
+        # napster covers all centralized cells: 1×3×2 = 6; bittorrent two
+        # specific cells -> 8 of 18 occupied.
+        assert field.coverage_fraction() == pytest.approx(8 / 18)
+
+    def test_gaps_are_the_complement(self):
+        field = MorphologicalField(p2p_space(), known_systems())
+        gaps = field.gaps()
+        assert len(gaps) == 18 - 8
+        for candidate in gaps:
+            assert not field.occupied(candidate)
+
+    def test_find_problems_tagged_p5(self):
+        field = MorphologicalField(p2p_space(), known_systems())
+        problems = field.find_problems(max_problems=3)
+        assert len(problems) == 3
+        for problem in problems:
+            assert problem.archetype == "P5"
+            assert problem.source == "morphological-analysis"
+            assert problem.niche is not None
+
+    def test_unknown_dimension_rejected(self):
+        field = MorphologicalField(p2p_space())
+        with pytest.raises(KeyError):
+            field.add_system(KnownSystem("x", (("blockchain", "yes"),)))
+
+    def test_unknown_option_rejected(self):
+        field = MorphologicalField(p2p_space())
+        with pytest.raises(ValueError):
+            field.add_system(KnownSystem("x", (("topology", "mesh"),)))
+
+    def test_fully_covered_field_has_no_problems(self):
+        space = DesignSpace([Dimension("a", ("x", "y"))])
+        field = MorphologicalField(space, [KnownSystem("everything", ())])
+        assert field.coverage_fraction() == 1.0
+        assert field.find_problems() == []
+
+    def test_too_large_field_rejected(self):
+        space = DesignSpace([
+            Dimension(f"d{i}", tuple(str(j) for j in range(10)))
+            for i in range(7)
+        ])
+        field = MorphologicalField(space)
+        with pytest.raises(ValueError, match="too large"):
+            field.gaps()
+
+
+class TestProblemStatement:
+    def test_archetype_validated(self):
+        with pytest.raises(ValueError):
+            ProblemStatement("x", archetype="P9", source="S1")
+
+    def test_source_validated(self):
+        with pytest.raises(ValueError):
+            ProblemStatement("x", archetype="P1", source="S9")
+
+
+class TestProblemCollector:
+    def test_collects_by_source(self):
+        collector = ProblemCollector()
+        collector.from_study("flashcrowds degrade downloads", "P2",
+                             detail="observed in [66]")
+        collector.from_experts("legacy MR clusters need elasticity", "P3")
+        collector.from_own_experiments("portfolio sim cost grows", "P1")
+        assert len(collector.problems) == 3
+        assert collector.by_archetype("P2")[0].source == "S1"
+
+    def test_source_archetype_compatibility_enforced(self):
+        collector = ProblemCollector()
+        # P5 problems are found by morphology, not by expert interviews.
+        with pytest.raises(ValueError):
+            collector.from_experts("an unexplored niche", "P5")

@@ -1,0 +1,118 @@
+"""Tests for the Dorst reasoning model (Figure 5)."""
+
+import pytest
+
+from repro.core import Frame, ReasoningMode, Universe, reason
+
+
+@pytest.fixture
+def universe():
+    """A small universe: numbers and arithmetic relationships."""
+    u = Universe()
+    for name, value in [("two", 2), ("three", 3), ("five", 5)]:
+        u.add_concept(name, value)
+    u.add_relationship("add", lambda a, b: a + b)
+    u.add_relationship("mul", lambda a, b: a * b)
+    u.add_relationship("sub", lambda a, b: a - b)
+    return u
+
+
+class TestDeduction:
+    def test_computes_outcome_from_what_and_how(self, universe):
+        result = reason(universe, ReasoningMode.DEDUCTION,
+                        what=("two", "three"), how="add")
+        assert result.solved
+        assert result.frames[0].outcome == 5
+        assert result.examined == 1
+
+    def test_requires_both_inputs(self, universe):
+        with pytest.raises(ValueError):
+            reason(universe, ReasoningMode.DEDUCTION, what=("two",))
+
+
+class TestInduction:
+    def test_finds_relationship_explaining_outcome(self, universe):
+        result = reason(universe, ReasoningMode.INDUCTION,
+                        what=("two", "three"), outcome=6)
+        assert result.solved
+        assert [f.how for f in result.frames] == ["mul"]
+
+    def test_multiple_explanations_possible(self, universe):
+        # 2+3=5 and concept five... only 'add' among relationships gives 5.
+        result = reason(universe, ReasoningMode.INDUCTION,
+                        what=("two", "three"), outcome=5)
+        assert {f.how for f in result.frames} == {"add"}
+
+    def test_no_explanation(self, universe):
+        result = reason(universe, ReasoningMode.INDUCTION,
+                        what=("two", "three"), outcome=1000)
+        assert not result.solved
+        assert result.examined == 3  # all relationships tried
+
+
+class TestProblemSolvingAbduction:
+    def test_finds_concepts_for_outcome(self, universe):
+        result = reason(universe, ReasoningMode.ABDUCTION_PROBLEM_SOLVING,
+                        how="add", outcome=5)
+        assert result.solved
+        whats = {f.what for f in result.frames}
+        assert ("two", "three") in whats
+        assert ("three", "two") in whats
+
+    def test_requires_how(self, universe):
+        with pytest.raises(ValueError):
+            reason(universe, ReasoningMode.ABDUCTION_PROBLEM_SOLVING,
+                   outcome=5)
+
+
+class TestDesignAbduction:
+    def test_searches_full_product_space(self, universe):
+        result = reason(universe, ReasoningMode.ABDUCTION_DESIGN, outcome=6)
+        assert result.solved
+        # mul(two, three) and mul(three, two) both qualify; also sub? 2-3=-1 no.
+        assert all(f.outcome == 6 for f in result.frames)
+
+    def test_design_abduction_costs_more_than_other_modes(self, universe):
+        """The formal core of 'design is different': the search space is
+        the product of the induction and problem-solving spaces."""
+        design = reason(universe, ReasoningMode.ABDUCTION_DESIGN, outcome=5)
+        induction = reason(universe, ReasoningMode.INDUCTION,
+                           what=("two", "three"), outcome=5)
+        ps = reason(universe, ReasoningMode.ABDUCTION_PROBLEM_SOLVING,
+                    how="add", outcome=5)
+        assert design.examined > induction.examined
+        assert design.examined > ps.examined
+        assert design.examined == len(universe.relationships) * len(
+            universe.concept_tuples(2))
+
+    def test_max_frames_caps_search(self, universe):
+        result = reason(universe, ReasoningMode.ABDUCTION_DESIGN, outcome=5,
+                        max_frames=1)
+        assert len(result.frames) == 1
+
+
+class TestUnreasoning:
+    def test_accepts_anything_without_evaluation(self, universe):
+        result = reason(universe, ReasoningMode.UNREASONING,
+                        outcome="alternative facts")
+        assert result.solved
+        assert result.examined == 0  # zero evidential work
+
+    def test_unreasoning_frame_content(self, universe):
+        result = reason(universe, ReasoningMode.UNREASONING,
+                        what=("x",), how="y", outcome="z")
+        assert result.frames[0] == Frame(what=("x",), how="y", outcome="z")
+
+
+class TestUniverse:
+    def test_concept_tuples_arity(self, universe):
+        assert len(universe.concept_tuples(1)) == 3
+        assert len(universe.concept_tuples(2)) == 9
+        assert universe.concept_tuples(0) == [()]
+
+    def test_apply(self, universe):
+        assert universe.apply("mul", ("three", "five")) == 15
+
+    def test_fluent_construction(self):
+        u = Universe().add_concept("a", 1).add_relationship("id", lambda x: x)
+        assert u.apply("id", ("a",)) == 1

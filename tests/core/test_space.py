@@ -1,0 +1,201 @@
+"""Tests for design spaces, problems, and rugged landscapes."""
+
+import pytest
+
+from repro.core import (
+    Candidate,
+    DesignProblem,
+    DesignSpace,
+    Dimension,
+    ProblemStructure,
+    RuggedLandscape,
+    classify_problem,
+)
+from repro.sim import RandomStreams
+
+
+def small_space():
+    return DesignSpace([
+        Dimension("storage", ("local", "distributed", "in-memory")),
+        Dimension("scheduler", ("fifo", "fair", "backfill")),
+        Dimension("transport", ("tcp", "rdma")),
+    ])
+
+
+class TestDesignSpace:
+    def test_size(self):
+        assert small_space().size == 3 * 3 * 2
+
+    def test_candidate_validation(self):
+        space = small_space()
+        c = space.candidate(storage="local", scheduler="fifo",
+                            transport="tcp")
+        assert c["storage"] == "local"
+        with pytest.raises(ValueError):
+            space.candidate(storage="local", scheduler="fifo")  # missing
+        with pytest.raises(ValueError):
+            space.candidate(storage="floppy", scheduler="fifo",
+                            transport="tcp")  # bad option
+
+    def test_neighbors_differ_in_one_dimension(self):
+        space = small_space()
+        c = space.candidate(storage="local", scheduler="fifo",
+                            transport="tcp")
+        neighbors = space.neighbors(c)
+        assert len(neighbors) == (3 - 1) + (3 - 1) + (2 - 1)
+        for n in neighbors:
+            diffs = sum(1 for d in ("storage", "scheduler", "transport")
+                        if n[d] != c[d])
+            assert diffs == 1
+
+    def test_all_candidates_enumerates_whole_space(self):
+        space = small_space()
+        candidates = list(space.all_candidates())
+        assert len(candidates) == space.size
+        assert len(set(candidates)) == space.size
+
+    def test_restrict_pins_dimension(self):
+        space = small_space()
+        sub = space.restrict({"transport": "rdma"})
+        assert sub.size == 9
+        for c in sub.all_candidates():
+            assert c["transport"] == "rdma"
+
+    def test_restrict_invalid_option_rejected(self):
+        with pytest.raises(ValueError):
+            small_space().restrict({"transport": "pigeon"})
+
+    def test_random_candidate_is_valid(self):
+        space = small_space()
+        rng = RandomStreams(seed=1).get("space")
+        for _ in range(20):
+            c = space.random_candidate(rng)
+            for dim in space.dimensions:
+                assert c[dim.name] in dim.options
+
+    def test_duplicate_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace([Dimension("a", ("x",)), Dimension("a", ("y",))])
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Dimension("a", ())
+
+    def test_candidate_with_choice(self):
+        space = small_space()
+        c = space.candidate(storage="local", scheduler="fifo",
+                            transport="tcp")
+        c2 = c.with_choice("transport", "rdma")
+        assert c2["transport"] == "rdma"
+        assert c["transport"] == "tcp"  # immutability
+        with pytest.raises(KeyError):
+            c.with_choice("nonexistent", "x")
+
+
+class TestDesignProblem:
+    def test_evaluate_counts_and_validates(self):
+        space = small_space()
+        problem = DesignProblem("p", space, quality=lambda c: 0.5)
+        c = space.candidate(storage="local", scheduler="fifo",
+                            transport="tcp")
+        assert problem.evaluate(c) == 0.5
+        assert problem.evaluations == 1
+        assert not problem.satisfices(c)
+        assert problem.evaluations == 2
+
+    def test_out_of_range_quality_rejected(self):
+        space = small_space()
+        problem = DesignProblem("p", space, quality=lambda c: 2.0)
+        c = space.candidate(storage="local", scheduler="fifo",
+                            transport="tcp")
+        with pytest.raises(ValueError):
+            problem.evaluate(c)
+
+
+class TestClassification:
+    def _base(self, **overrides):
+        space = small_space()
+        kwargs = dict(name="p", space=space, quality=lambda c: 1.0)
+        kwargs.update(overrides)
+        return DesignProblem(**kwargs)
+
+    def test_well_structured_by_default(self):
+        assert classify_problem(self._base()) is (
+            ProblemStructure.WELL_STRUCTURED)
+
+    def test_missing_simon_criterion_is_ill_structured(self):
+        problem = self._base(has_complete_domain_knowledge=False)
+        assert problem.structure() is ProblemStructure.ILL_STRUCTURED
+
+    def test_intractable_is_ill_structured(self):
+        problem = self._base(is_tractable=False)
+        assert problem.structure() is ProblemStructure.ILL_STRUCTURED
+
+    def test_wickedness_dominates(self):
+        problem = self._base(has_final_formulation=False)
+        assert problem.structure() is ProblemStructure.WICKED
+        problem = self._base(stakeholders_agree_on_success=False,
+                             has_complete_domain_knowledge=False)
+        assert problem.structure() is ProblemStructure.WICKED
+
+
+class TestRuggedLandscape:
+    def _space(self, n_dims=6, n_opts=4):
+        return DesignSpace([
+            Dimension(f"d{i}", tuple(f"o{j}" for j in range(n_opts)))
+            for i in range(n_dims)
+        ])
+
+    def test_deterministic(self):
+        space = self._space()
+        l1 = RuggedLandscape(space, seed=5, k=2)
+        l2 = RuggedLandscape(space, seed=5, k=2)
+        rng = RandomStreams(seed=9).get("x")
+        for _ in range(10):
+            c = space.random_candidate(rng)
+            assert l1(c) == l2(c)
+
+    def test_values_in_unit_interval(self):
+        space = self._space()
+        landscape = RuggedLandscape(space, seed=1, k=3)
+        rng = RandomStreams(seed=2).get("x")
+        for _ in range(50):
+            assert 0.0 <= landscape(space.random_candidate(rng)) <= 1.0
+
+    def test_epoch_shift_changes_landscape(self):
+        space = self._space()
+        l0 = RuggedLandscape(space, seed=1, k=2)
+        l1 = l0.shifted()
+        rng = RandomStreams(seed=3).get("x")
+        candidates = [space.random_candidate(rng) for _ in range(20)]
+        assert any(abs(l0(c) - l1(c)) > 1e-6 for c in candidates)
+        assert l1.epoch == 1
+
+    def test_smooth_landscape_k0_is_separable(self):
+        """With k=0 each dimension contributes independently: improving one
+        dimension never hurts another, so greedy per-dimension optimization
+        reaches the global optimum."""
+        space = self._space(n_dims=4, n_opts=3)
+        landscape = RuggedLandscape(space, seed=11, k=0)
+        # Greedy: optimize dimension by dimension.
+        current = next(iter(space.all_candidates()))
+        for dim in space.dimensions:
+            best_opt = max(
+                dim.options,
+                key=lambda o: landscape(current.with_choice(dim.name, o)))
+            current = current.with_choice(dim.name, best_opt)
+        exhaustive_best = max(landscape(c) for c in space.all_candidates())
+        assert landscape(current) == pytest.approx(exhaustive_best)
+
+    def test_invalid_k_rejected(self):
+        space = self._space(n_dims=3)
+        with pytest.raises(ValueError):
+            RuggedLandscape(space, k=3)
+        with pytest.raises(ValueError):
+            RuggedLandscape(space, k=-1)
+
+    def test_best_quality_exact_for_small_space(self):
+        space = self._space(n_dims=3, n_opts=3)
+        landscape = RuggedLandscape(space, seed=4, k=1)
+        exact = max(landscape(c) for c in space.all_candidates())
+        assert landscape.best_quality() == pytest.approx(exact)

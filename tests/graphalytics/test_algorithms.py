@@ -1,0 +1,154 @@
+"""Tests for the six LDBC algorithm kernels."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphalytics import (
+    ALGORITHMS,
+    bfs,
+    cdlp,
+    lcc,
+    pagerank,
+    run_algorithm,
+    sssp,
+    wcc,
+)
+
+
+@pytest.fixture
+def path_graph():
+    return nx.path_graph(5)  # 0-1-2-3-4
+
+
+@pytest.fixture
+def two_triangles():
+    g = nx.Graph()
+    g.add_edges_from([(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)])
+    return g
+
+
+class TestBFS:
+    def test_depths_on_path(self, path_graph):
+        result = bfs(path_graph, source=0)
+        assert result.values == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        assert result.iterations == 4
+
+    def test_unreachable_is_inf(self, two_triangles):
+        result = bfs(two_triangles, source=0)
+        assert result.values[10] == float("inf")
+        assert result.values[2] == 1
+
+    def test_unknown_source(self, path_graph):
+        with pytest.raises(KeyError):
+            bfs(path_graph, source=99)
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self, path_graph):
+        result = pagerank(path_graph)
+        assert sum(result.values.values()) == pytest.approx(1.0, abs=1e-3)
+
+    def test_symmetric_graph_equal_ranks(self):
+        result = pagerank(nx.cycle_graph(6))
+        ranks = list(result.values.values())
+        assert max(ranks) - min(ranks) < 1e-6
+
+    def test_hub_ranks_highest(self):
+        star = nx.star_graph(10)  # node 0 is the hub
+        result = pagerank(star)
+        assert result.values[0] == max(result.values.values())
+
+    def test_converges_before_max_iterations(self):
+        result = pagerank(nx.cycle_graph(4), max_iterations=50)
+        assert result.iterations < 50
+
+    def test_empty_graph(self):
+        result = pagerank(nx.Graph())
+        assert result.values == {}
+
+
+class TestWCC:
+    def test_component_count(self, two_triangles):
+        result = wcc(two_triangles)
+        assert len(set(result.values.values())) == 2
+
+    def test_same_component_same_label(self, two_triangles):
+        result = wcc(two_triangles)
+        assert result.values[0] == result.values[1] == result.values[2]
+        assert result.values[10] != result.values[0]
+
+
+class TestCDLP:
+    def test_two_cliques_found(self):
+        g = nx.Graph()
+        # Two 4-cliques joined by one edge.
+        for base in (0, 10):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    g.add_edge(base + i, base + j)
+        g.add_edge(3, 10)
+        result = cdlp(g, max_iterations=20)
+        left = {result.values[i] for i in range(4)}
+        right = {result.values[10 + i] for i in range(4)}
+        assert len(left) == 1
+        assert len(right) == 1
+
+    def test_isolated_vertex_keeps_label(self):
+        g = nx.Graph()
+        g.add_node(7)
+        result = cdlp(g)
+        assert result.values[7] == 7.0
+
+
+class TestLCC:
+    def test_triangle_is_fully_clustered(self):
+        result = lcc(nx.complete_graph(3))
+        assert all(v == pytest.approx(1.0) for v in result.values.values())
+
+    def test_path_has_zero_clustering(self, path_graph):
+        result = lcc(path_graph)
+        assert all(v == 0.0 for v in result.values.values())
+
+    def test_degree_one_is_zero(self):
+        result = lcc(nx.star_graph(3))
+        assert result.values[1] == 0.0
+
+
+class TestSSSP:
+    def test_weighted_shortest_path(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(1, 2, weight=1.0)
+        g.add_edge(0, 2, weight=5.0)
+        result = sssp(g, source=0)
+        assert result.values[2] == 2.0
+
+    def test_unit_weights_default(self, path_graph):
+        result = sssp(path_graph, source=0)
+        assert result.values[4] == 4.0
+
+    def test_unreachable_inf(self, two_triangles):
+        result = sssp(two_triangles, source=0)
+        assert math.isinf(result.values[11])
+
+    def test_unknown_source(self, path_graph):
+        with pytest.raises(KeyError):
+            sssp(path_graph, source=42)
+
+
+class TestDispatch:
+    def test_all_algorithms_run(self, two_triangles):
+        for name in ALGORITHMS:
+            result = run_algorithm(name, two_triangles)
+            assert len(result) == two_triangles.number_of_nodes()
+            assert result.edges_visited > 0
+
+    def test_unknown_algorithm(self, path_graph):
+        with pytest.raises(KeyError):
+            run_algorithm("quantum-walk", path_graph)
+
+    def test_default_source_is_min_node(self, path_graph):
+        result = run_algorithm("bfs", path_graph)
+        assert result.values[0] == 0.0

@@ -1,0 +1,75 @@
+"""Tests for Grade10-style fitted performance models ([108])."""
+
+import pytest
+
+from repro.graphalytics import run_benchmark
+from repro.graphalytics.grade10 import (
+    Observation,
+    cross_validate,
+    fit_platform_model,
+    observations_from_runs,
+)
+
+
+@pytest.fixture(scope="module")
+def observations():
+    report = run_benchmark(n_vertices=800, seed=1080,
+                           algorithms=("bfs", "pagerank", "wcc", "lcc",
+                                       "sssp"),
+                           datasets=("scale-free", "road", "random"))
+    return observations_from_runs(report.runs)
+
+
+class TestFitting:
+    def test_fit_recovers_low_training_error(self, observations):
+        model = fit_platform_model(observations, "cpu-single")
+        assert model.training_error < 0.25
+        assert model.setup_s >= 0
+        assert model.compute_per_edge_visit_s >= 0
+
+    def test_synthetic_exact_recovery(self):
+        """On data generated exactly from the model family, the fit is
+        essentially perfect."""
+        obs = []
+        for i, (edges, visits, iters) in enumerate(
+                [(1e5, 2e5, 5), (2e5, 8e5, 10), (5e4, 5e4, 1),
+                 (3e5, 3e6, 30), (1e6, 1e6, 2), (7e5, 2e6, 8)]):
+            time = 2.0 + 1e-7 * edges + 3e-8 * visits + 0.1 * iters
+            obs.append(Observation("synthetic", edges, visits, iters,
+                                   time))
+        model = fit_platform_model(obs, "synthetic")
+        assert model.training_error < 1e-6
+        assert model.setup_s == pytest.approx(2.0, rel=1e-3)
+        assert model.per_iteration_s == pytest.approx(0.1, rel=1e-3)
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError):
+            fit_platform_model(
+                [Observation("p", 1, 1, 1, 1.0)] * 3, "p")
+
+    def test_unknown_platform_rejected(self, observations):
+        with pytest.raises(ValueError):
+            fit_platform_model(observations, "quantum-platform")
+
+
+class TestGeneralization:
+    def test_cross_validation_error_bounded(self, observations):
+        """The Grade10 promise: the fitted model predicts unseen cells
+        usefully (leave-one-out error well below 100%)."""
+        error = cross_validate(observations, "cpu-single")
+        assert error < 0.5
+
+    def test_needs_enough_observations(self):
+        obs = [Observation("p", float(i + 1), float(i + 1), 1.0, 1.0)
+               for i in range(4)]
+        with pytest.raises(ValueError):
+            cross_validate(obs, "p")
+
+    def test_failed_runs_excluded(self):
+        report = run_benchmark(n_vertices=800, seed=1081,
+                               algorithms=("pagerank",),
+                               datasets=("scale-free",),
+                               work_scale=5000.0)  # GPU will OOM
+        obs = observations_from_runs(report.runs, work_scale=5000.0)
+        assert all(o.platform != "gpu" or o.time_s < float("inf")
+                   for o in obs)

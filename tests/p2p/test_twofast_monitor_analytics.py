@@ -1,0 +1,222 @@
+"""Tests for 2fast, the BTWorld monitor, and ecosystem analytics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.p2p import (
+    BTWorldMonitor,
+    ContentDescriptor,
+    PEER_CLASSES,
+    Peer,
+    SpamTracker,
+    Tracker,
+    bandwidth_asymmetry,
+    bias_study,
+    detect_aliased_media,
+    detect_flashcrowds,
+    giant_swarms,
+    run_2fast_experiment,
+)
+from repro.p2p.analytics import aliasing_dilution
+from repro.p2p.twofast import collector_rate_mbps
+from repro.sim import Environment, RandomStreams
+
+
+class TestTwoFast:
+    def test_helpers_speed_up_asymmetric_download(self):
+        result = run_2fast_experiment(content_size_mb=200,
+                                      peer_class_name="adsl",
+                                      max_helpers=8)
+        assert result.speedup(4) > 2.0
+        # Monotone non-increasing download times.
+        for k in range(1, 9):
+            assert result.download_times[k] <= result.download_times[k - 1]
+
+    def test_speedup_capped_by_download_link(self):
+        result = run_2fast_experiment(content_size_mb=200,
+                                      peer_class_name="adsl",
+                                      max_helpers=16)
+        adsl = PEER_CLASSES["adsl"]
+        assert result.max_speedup <= adsl.asymmetry + 1.0
+
+    def test_saturation_point_near_asymmetry_ratio(self):
+        result = run_2fast_experiment(content_size_mb=500,
+                                      peer_class_name="adsl",
+                                      max_helpers=16)
+        # ADSL asymmetry is 8: ~7 helpers saturate the download link.
+        assert 5 <= result.saturation_helpers <= 9
+
+    def test_symmetric_peers_gain_nothing(self):
+        result = run_2fast_experiment(content_size_mb=100,
+                                      peer_class_name="symmetric",
+                                      max_helpers=4)
+        assert result.max_speedup == pytest.approx(1.0, abs=0.1)
+
+    def test_collector_rate_validation(self):
+        with pytest.raises(ValueError):
+            collector_rate_mbps(PEER_CLASSES["adsl"], helpers=-1)
+
+    def test_invalid_content_size(self):
+        with pytest.raises(ValueError):
+            run_2fast_experiment(content_size_mb=0)
+
+
+class TestBTWorldMonitor:
+    def _ecosystem(self, rng, n_honest=4, n_spam=1):
+        trackers = [Tracker(f"t{i}") for i in range(n_honest)]
+        trackers += [SpamTracker(f"spam{i}", rng) for i in range(n_spam)]
+        peer = Peer(peer_class=PEER_CLASSES["adsl"], arrival_time=0)
+        for t in trackers:
+            t.announce("movie/x264", peer)
+        return trackers
+
+    def test_monitor_samples_at_interval(self):
+        rng = RandomStreams(seed=5).get("m")
+        env = Environment()
+        trackers = self._ecosystem(rng)
+        monitor = BTWorldMonitor(env, trackers, interval_s=100)
+        env.run(until=1000)
+        # 10 rounds × 5 trackers × 1 torrent.
+        assert monitor.total_samples() == 50
+        assert len(monitor.archive) == 50
+
+    def test_coverage_limits_observed_trackers(self):
+        rng = RandomStreams(seed=6).get("m")
+        env = Environment()
+        trackers = self._ecosystem(rng, n_honest=10, n_spam=0)
+        monitor = BTWorldMonitor(env, trackers, interval_s=100,
+                                 coverage=0.3, rng=rng)
+        assert len(monitor.observed) == 3
+
+    def test_spam_filter_excludes_spam_trackers(self):
+        rng = RandomStreams(seed=7).get("m")
+        env = Environment()
+        trackers = self._ecosystem(rng, n_honest=2, n_spam=2)
+        clean = BTWorldMonitor(env, trackers, interval_s=100,
+                               filter_spam=True)
+        env.run(until=300)
+        entities = {r.entity for r in clean.archive}
+        assert all(not e.startswith("spam") for e in entities)
+
+    def test_spam_inflates_observed_sizes(self):
+        rng = RandomStreams(seed=8).get("m")
+        env = Environment()
+        trackers = self._ecosystem(rng, n_honest=3, n_spam=2)
+        monitor = BTWorldMonitor(env, trackers, interval_s=100)
+        env.run(until=500)
+        honest_sizes = [s.swarm_size for s in monitor.samples
+                        if s.swarm_size <= 10]
+        spam_sizes = [s.swarm_size for s in monitor.samples
+                      if s.swarm_size > 10]
+        assert spam_sizes and honest_sizes
+        assert min(spam_sizes) > max(honest_sizes)
+
+    def test_invalid_params(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            BTWorldMonitor(env, [Tracker("t")], interval_s=0)
+        with pytest.raises(ValueError):
+            BTWorldMonitor(env, [Tracker("t")], coverage=0)
+
+
+class TestBiasStudy:
+    def test_slow_sampling_misses_short_peaks(self):
+        # A 10-minute flashcrowd peak in an otherwise flat signal.
+        times = np.arange(0, 86400, 60.0)
+        sizes = np.where((times >= 30000) & (times < 30600), 1000.0, 100.0)
+        reports = bias_study(times, sizes, intervals_s=[60, 3600 * 6],
+                             coverages=[1.0])
+        fast = next(r for r in reports if r.interval_s == 60)
+        slow = next(r for r in reports if r.interval_s == 3600 * 6)
+        assert fast.peak_bias == pytest.approx(0.0)
+        assert slow.peak_bias < -0.5  # missed the peak
+
+    def test_partial_coverage_underestimates(self):
+        times = np.arange(0, 1000, 10.0)
+        sizes = np.full_like(times, 200.0)
+        reports = bias_study(times, sizes, intervals_s=[10],
+                             coverages=[1.0, 0.5, 0.1])
+        biases = {r.coverage: r.peak_bias for r in reports}
+        assert biases[1.0] == pytest.approx(0.0)
+        assert biases[0.5] == pytest.approx(-0.5)
+        assert biases[0.1] == pytest.approx(-0.9)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            bias_study([], [], [10], [1.0])
+
+
+class TestAnalytics:
+    def test_aliased_media_detection(self):
+        descriptors = [
+            ContentDescriptor("movie-a", "x264-720p", 700),
+            ContentDescriptor("movie-a", "xvid", 700),
+            ContentDescriptor("movie-a", "x264-1080p", 1400),
+            ContentDescriptor("movie-b", "x264-720p", 700),
+        ]
+        groups = detect_aliased_media(descriptors, [100, 50, 30, 200])
+        assert groups[0].content_key == "movie-a"
+        assert groups[0].alias_count == 3
+        assert groups[0].is_aliased
+        assert groups[0].total_peers == 180
+        assert not groups[1].is_aliased
+
+    def test_aliasing_dilution_below_one(self):
+        descriptors = [
+            ContentDescriptor("a", "f1", 1), ContentDescriptor("a", "f2", 1),
+            ContentDescriptor("b", "f1", 1),
+        ]
+        groups = detect_aliased_media(descriptors, [60, 60, 200])
+        assert aliasing_dilution(groups) < 1.0
+
+    def test_alias_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            detect_aliased_media([ContentDescriptor("a", "f", 1)], [1, 2])
+
+    def test_bandwidth_asymmetry_of_adsl_population(self):
+        peers = [Peer(peer_class=PEER_CLASSES["adsl"], arrival_time=0)
+                 for _ in range(80)]
+        peers += [Peer(peer_class=PEER_CLASSES["symmetric"], arrival_time=0)
+                  for _ in range(20)]
+        stats = bandwidth_asymmetry(peers)
+        assert stats["capacity_ratio"] > 3.0
+        assert stats["asymmetric_fraction"] == pytest.approx(0.8)
+
+    def test_bandwidth_asymmetry_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bandwidth_asymmetry([])
+
+    def test_flashcrowd_detection(self):
+        rng = RandomStreams(seed=9).get("fc")
+        # Baseline: ~1 arrival/100s; burst: 200 arrivals in 600 s.
+        baseline = list(np.cumsum(rng.exponential(100, size=400)))
+        burst_start = 20_000
+        burst = list(burst_start + np.sort(rng.uniform(0, 600, size=200)))
+        episodes = detect_flashcrowds(baseline + burst, window_s=600,
+                                      threshold=5)
+        assert len(episodes) >= 1
+        hit = [e for e in episodes if e.start <= burst_start < e.end]
+        assert hit, "flashcrowd episode not localized at the burst"
+        assert hit[0].magnitude > 5
+
+    def test_no_flashcrowd_in_poisson(self):
+        rng = RandomStreams(seed=10).get("fc")
+        times = list(np.cumsum(rng.exponential(100, size=800)))
+        assert detect_flashcrowds(times, window_s=600, threshold=8) == []
+
+    def test_too_few_arrivals(self):
+        assert detect_flashcrowds([1, 2, 3]) == []
+
+    def test_giant_swarms_heavy_tail(self):
+        rng = RandomStreams(seed=11).get("gs")
+        sizes = rng.pareto(1.2, size=5000) * 10 + 1
+        stats = giant_swarms(sizes.astype(int))
+        assert stats["n_giants"] >= 1
+        assert stats["giant_peer_share"] > 0.05
+        assert stats["max_size"] > stats["median_size"] * 10
+
+    def test_giant_swarms_empty_rejected(self):
+        with pytest.raises(ValueError):
+            giant_swarms([])

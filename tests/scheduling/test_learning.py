@@ -1,0 +1,84 @@
+"""Tests for the Ananke-style learning portfolio ([119])."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.scheduling import ClusterSimulator, FCFSPolicy, LJFPolicy, SJFPolicy
+from repro.scheduling.learning import (
+    LearningPortfolioScheduler,
+    queue_pressure_state,
+)
+from repro.sim import Environment, RandomStreams
+from repro.workload import BagOfTasks, Task
+
+
+def mixed_bag(submit, n_short=6, long_work=400.0):
+    tasks = [Task(work=long_work)]
+    tasks += [Task(work=20.0) for _ in range(n_short)]
+    for t in tasks:
+        t.runtime_estimate = t.work
+    return BagOfTasks(tasks, submit_time=submit)
+
+
+def run_learning(epsilon=0.15, waves=20, seed=1, epoch_s=100.0):
+    env = Environment()
+    cluster = Cluster.homogeneous("c", 1, cores=2)
+    sim = ClusterSimulator(env, cluster, FCFSPolicy())
+    rng = RandomStreams(seed).get("bandit")
+    scheduler = LearningPortfolioScheduler(
+        env, sim, [FCFSPolicy(), SJFPolicy(), LJFPolicy()],
+        epoch_s=epoch_s, epsilon=epsilon, rng=rng)
+    jobs = [mixed_bag(i * 400.0) for i in range(waves)]
+    sim.submit_jobs(jobs)
+    env.run()
+    return sim, scheduler
+
+
+class TestQueuePressureState:
+    def test_buckets(self):
+        env = Environment()
+        sim = ClusterSimulator(env, Cluster.homogeneous("c", 1),
+                               FCFSPolicy())
+        assert queue_pressure_state(sim) == 0
+        t = [Task(work=1.0) for _ in range(5)]
+        sim.ready.extend(t)
+        assert queue_pressure_state(sim) == 1
+
+
+class TestLearningPortfolio:
+    def test_validation(self):
+        env = Environment()
+        sim = ClusterSimulator(env, Cluster.homogeneous("c", 1),
+                               FCFSPolicy())
+        with pytest.raises(ValueError):
+            LearningPortfolioScheduler(env, sim, [])
+        with pytest.raises(ValueError):
+            LearningPortfolioScheduler(env, sim, [FCFSPolicy()],
+                                       epsilon=2.0)
+        with pytest.raises(ValueError):
+            LearningPortfolioScheduler(env, sim, [FCFSPolicy()],
+                                       learning_rate=0.0)
+
+    def test_runs_to_completion_and_records(self):
+        sim, scheduler = run_learning(waves=8)
+        assert sim.all_done
+        assert scheduler.stats.epochs > 0
+        assert scheduler.stats.rewards, "no rewards observed"
+        assert all(r <= 0 for r in scheduler.stats.rewards)
+
+    def test_learns_sjf_under_mixed_load(self):
+        """After enough waves of long+shorts, the learned best policy
+        under queue pressure should be SJF (lowest realized slowdown)."""
+        sim, scheduler = run_learning(waves=30, seed=3)
+        pressured_states = [s for s in range(1, 4)]
+        learned = {scheduler.best_policy_for(s) for s in pressured_states}
+        assert "sjf" in learned
+
+    def test_exploration_rate_roughly_epsilon(self):
+        sim, scheduler = run_learning(epsilon=0.5, waves=15, seed=5)
+        rate = scheduler.stats.explorations / scheduler.stats.epochs
+        assert 0.25 < rate < 0.75
+
+    def test_zero_epsilon_never_explores(self):
+        sim, scheduler = run_learning(epsilon=0.0, waves=6, seed=7)
+        assert scheduler.stats.explorations == 0

@@ -1,0 +1,184 @@
+"""Tests for scheduling policies and the cluster simulator."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.scheduling import (
+    BackfillPolicy,
+    FCFSPolicy,
+    FairSharePolicy,
+    LJFPolicy,
+    POLICIES,
+    RandomPolicy,
+    SJFPolicy,
+    simulate_schedule,
+)
+from repro.scheduling.policies import make_policy
+from repro.sim import RandomStreams
+from repro.workload import BagOfTasks, Task, Workflow
+
+
+def bag(works, submit=0.0, cores=1, user="u"):
+    tasks = []
+    for w in works:
+        t = Task(work=w, cores=cores)
+        t.runtime_estimate = w
+        tasks.append(t)
+    return BagOfTasks(tasks, submit_time=submit, user=user)
+
+
+class TestPolicyOrdering:
+    def _queue(self):
+        tasks = []
+        for i, (work, submit) in enumerate([(30, 2), (10, 0), (20, 1)]):
+            t = Task(work=work, submit_time=submit)
+            t.runtime_estimate = work
+            tasks.append(t)
+        return tasks
+
+    def test_fcfs_by_submit_time(self):
+        order = FCFSPolicy().order(self._queue(), now=10)
+        assert [t.submit_time for t in order] == [0, 1, 2]
+
+    def test_sjf_by_estimate(self):
+        order = SJFPolicy().order(self._queue(), now=10)
+        assert [t.work for t in order] == [10, 20, 30]
+
+    def test_ljf_reverse(self):
+        order = LJFPolicy().order(self._queue(), now=10)
+        assert [t.work for t in order] == [30, 20, 10]
+
+    def test_random_is_permutation(self):
+        rng = RandomStreams(seed=1).get("r")
+        queue = self._queue()
+        order = RandomPolicy(rng).order(queue, now=0)
+        assert sorted(t.task_id for t in order) == sorted(
+            t.task_id for t in queue)
+
+    def test_fair_share_prefers_unserved_users(self):
+        policy = FairSharePolicy()
+        t1 = Task(work=10, submit_time=0)
+        t1.user = "heavy"
+        t2 = Task(work=10, submit_time=5)
+        t2.user = "light"
+        policy.charge("heavy", 1000.0)
+        order = policy.order([t1, t2], now=10)
+        assert order[0].user == "light"
+
+    def test_backfill_orders_fcfs_but_allows_backfill(self):
+        policy = BackfillPolicy()
+        assert policy.allows_backfill()
+        assert not FCFSPolicy().allows_backfill()
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(KeyError):
+            make_policy("galaxy-brain")
+
+    def test_registry_complete(self):
+        assert set(POLICIES) == {"fcfs", "sjf", "ljf", "random",
+                                 "fair-share", "backfill"}
+
+
+class TestSimulator:
+    def test_single_bag_runs_to_completion(self):
+        cluster = Cluster.homogeneous("c", 2, cores=2)
+        metrics = simulate_schedule([bag([10, 10, 10, 10])], cluster,
+                                    FCFSPolicy())
+        assert metrics.n_tasks == 4
+        assert metrics.mean_wait_s == 0.0  # 4 slots... 4 cores, all fit
+        assert metrics.makespan_s == pytest.approx(10.0)
+
+    def test_queueing_when_overloaded(self):
+        cluster = Cluster.homogeneous("c", 1, cores=1)
+        metrics = simulate_schedule([bag([100, 100])], cluster,
+                                    FCFSPolicy())
+        assert metrics.mean_wait_s == pytest.approx(50.0)  # (0 + 100) / 2
+        assert metrics.makespan_s == pytest.approx(200.0)
+
+    def test_sjf_beats_fcfs_on_mixed_sizes(self):
+        def workload():
+            return [bag([1000, 10, 10, 10, 10])]
+
+        cluster1 = Cluster.homogeneous("c", 1, cores=1)
+        cluster2 = Cluster.homogeneous("c", 1, cores=1)
+        fcfs = simulate_schedule(workload(), cluster1, FCFSPolicy())
+        sjf = simulate_schedule(workload(), cluster2, SJFPolicy())
+        assert sjf.mean_bounded_slowdown < fcfs.mean_bounded_slowdown
+
+    def test_workflow_dependencies_respected(self):
+        a, b = Task(work=10), Task(work=10)
+        a.runtime_estimate = b.runtime_estimate = 10
+        wf = Workflow([a, b], [(a.task_id, b.task_id)], submit_time=0)
+        cluster = Cluster.homogeneous("c", 4, cores=4)
+        metrics = simulate_schedule([wf], cluster, FCFSPolicy())
+        assert b.start_time >= a.finish_time
+        assert metrics.makespan_s == pytest.approx(20.0)
+
+    def test_machine_speed_scales_runtime(self):
+        cluster = Cluster.homogeneous("c", 1, cores=1, speed=2.0)
+        metrics = simulate_schedule([bag([100])], cluster, FCFSPolicy())
+        assert metrics.makespan_s == pytest.approx(50.0)
+
+    def test_backfill_fills_holes(self):
+        """Head needs 4 cores (busy); a 1-core short task backfills."""
+        cluster = Cluster.homogeneous("c", 1, cores=4)
+        blocker = Task(work=100, cores=3)
+        blocker.runtime_estimate = 100
+        head = Task(work=50, cores=4)
+        head.runtime_estimate = 50
+        small = Task(work=20, cores=1)
+        small.runtime_estimate = 20
+        b1 = BagOfTasks([blocker], submit_time=0)
+        b2 = BagOfTasks([head], submit_time=1)
+        b3 = BagOfTasks([small], submit_time=2)
+        simulate_schedule([b1, b2, b3], cluster, BackfillPolicy())
+        # Small ran before head despite arriving later.
+        assert small.start_time < head.start_time
+        # And did not delay the head: head starts when blocker ends.
+        assert head.start_time == pytest.approx(100.0)
+
+    def test_fcfs_does_not_backfill(self):
+        cluster = Cluster.homogeneous("c", 1, cores=4)
+        blocker = Task(work=100, cores=3)
+        head = Task(work=50, cores=4)
+        small = Task(work=20, cores=1)
+        for t in (blocker, head, small):
+            t.runtime_estimate = t.work
+        jobs = [BagOfTasks([blocker], submit_time=0),
+                BagOfTasks([head], submit_time=1),
+                BagOfTasks([small], submit_time=2)]
+        simulate_schedule(jobs, cluster, FCFSPolicy())
+        assert small.start_time >= head.start_time
+
+    def test_unplaceable_task_raises(self):
+        cluster = Cluster.homogeneous("c", 1, cores=2)
+        giant = Task(work=10, cores=16)
+        giant.runtime_estimate = 10
+        with pytest.raises(RuntimeError, match="never be placed"):
+            simulate_schedule([BagOfTasks([giant])], cluster, FCFSPolicy())
+
+    def test_metrics_before_completion_rejected(self):
+        from repro.scheduling import ClusterSimulator
+        from repro.sim import Environment
+        env = Environment()
+        sim = ClusterSimulator(env, Cluster.homogeneous("c", 1),
+                               FCFSPolicy())
+        with pytest.raises(RuntimeError):
+            sim.metrics()
+
+    def test_utilization_bounded(self):
+        cluster = Cluster.homogeneous("c", 2, cores=4)
+        metrics = simulate_schedule(
+            [bag([50] * 16)], cluster, FCFSPolicy())
+        assert 0 < metrics.utilization <= 1.0
+
+    def test_fair_share_interleaves_users(self):
+        cluster = Cluster.homogeneous("c", 1, cores=1)
+        heavy = bag([50] * 4, submit=0, user="heavy")
+        light = bag([50], submit=1, user="light")
+        simulate_schedule([heavy, light], cluster, FairSharePolicy())
+        # Light user's single task runs before the heavy user's queue
+        # drains completely.
+        light_task = light.tasks[0]
+        heavy_finishes = sorted(t.finish_time for t in heavy.tasks)
+        assert light_task.start_time < heavy_finishes[-1]

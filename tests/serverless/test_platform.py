@@ -1,0 +1,169 @@
+"""Tests for the FaaS platform."""
+
+import pytest
+
+from repro.serverless import FaaSPlatform, FunctionSpec, PlatformConfig
+from repro.sim import Environment
+
+
+def make_platform(env, **config_kwargs):
+    platform = FaaSPlatform(env, PlatformConfig(**config_kwargs))
+    platform.deploy(FunctionSpec("f", runtime_s=0.2, memory_gb=0.5))
+    return platform
+
+
+class TestFunctionSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionSpec("f", runtime_s=0)
+        with pytest.raises(ValueError):
+            FunctionSpec("f", runtime_s=1, memory_gb=0)
+
+
+class TestLifecycle:
+    def test_deploy_undeploy(self):
+        env = Environment()
+        platform = make_platform(env)
+        assert "f" in platform.functions
+        with pytest.raises(ValueError):
+            platform.deploy(FunctionSpec("f", runtime_s=1))
+        platform.undeploy("f")
+        with pytest.raises(KeyError):
+            platform.undeploy("f")
+
+    def test_invoke_unknown_function(self):
+        env = Environment()
+        platform = FaaSPlatform(env)
+        with pytest.raises(KeyError):
+            platform.invoke("ghost")
+
+
+class TestColdWarm:
+    def test_first_invocation_is_cold(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=2.0)
+        results = {}
+
+        def scenario(env, platform):
+            inv = yield platform.invoke("f")
+            results["first"] = inv
+            inv = yield platform.invoke("f")
+            results["second"] = inv
+
+        env.run(until=env.process(scenario(env, platform)))
+        assert results["first"].cold
+        assert not results["second"].cold
+        assert results["first"].latency == pytest.approx(2.2)
+        assert results["second"].latency == pytest.approx(0.2)
+
+    def test_concurrent_burst_spawns_instances(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=1.0)
+
+        def scenario(env, platform):
+            events = [platform.invoke("f") for _ in range(5)]
+            for ev in events:
+                yield ev
+
+        env.run(until=env.process(scenario(env, platform)))
+        assert platform.pool_size("f") == 5
+        assert platform.cold_start_fraction("f") == 1.0
+
+    def test_prewarming_removes_cold_starts(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=2.0, prewarmed=3)
+
+        def scenario(env, platform):
+            events = [platform.invoke("f") for _ in range(3)]
+            for ev in events:
+                inv = yield ev
+                assert not inv.cold
+
+        env.run(until=env.process(scenario(env, platform)))
+        assert platform.cold_start_fraction() == 0.0
+
+    def test_keep_alive_reaps_idle_instances(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=1.0, keep_alive_s=60.0)
+
+        def scenario(env, platform):
+            yield platform.invoke("f")
+            assert platform.pool_size("f") == 1
+            yield env.timeout(300)
+            # Instance reaped; next call is cold again.
+            inv = yield platform.invoke("f")
+            assert inv.cold
+
+        env.run(until=env.process(scenario(env, platform)))
+
+    def test_warm_within_keep_alive(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=1.0, keep_alive_s=600.0)
+
+        def scenario(env, platform):
+            yield platform.invoke("f")
+            yield env.timeout(120)
+            inv = yield platform.invoke("f")
+            assert not inv.cold
+
+        env.run(until=env.process(scenario(env, platform)))
+
+
+class TestConcurrencyLimit:
+    def test_over_limit_rejected(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=0.5,
+                                 concurrency_limit=2)
+        rejected = []
+
+        def scenario(env, platform):
+            events = [platform.invoke("f") for _ in range(4)]
+            for ev in events:
+                inv = yield ev
+                if inv.rejected:
+                    rejected.append(inv)
+
+        env.run(until=env.process(scenario(env, platform)))
+        assert len(rejected) == 2
+        assert platform.monitor.counters["rejections"].total == 2
+
+
+class TestBilling:
+    def test_pay_only_for_runtime(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=3.0,
+                                 bill_cold_start=False)
+
+        def scenario(env, platform):
+            yield platform.invoke("f")
+
+        env.run(until=env.process(scenario(env, platform)))
+        # runtime 0.2 s × 0.5 GB.
+        assert platform.billed_gb_s == pytest.approx(0.1)
+        assert platform.cost() == pytest.approx(
+            0.1 * platform.config.price_per_gb_s)
+
+    def test_cold_start_billing_toggle(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=3.0,
+                                 bill_cold_start=True)
+
+        def scenario(env, platform):
+            yield platform.invoke("f")
+
+        env.run(until=env.process(scenario(env, platform)))
+        assert platform.billed_gb_s == pytest.approx((0.2 + 3.0) * 0.5)
+
+    def test_idle_capacity_is_providers_cost_not_customers(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=1.0, keep_alive_s=100.0)
+
+        def scenario(env, platform):
+            yield platform.invoke("f")
+            yield env.timeout(50)
+            yield platform.invoke("f")
+
+        env.run(until=env.process(scenario(env, platform)))
+        customer = platform.billed_gb_s
+        assert customer == pytest.approx(2 * 0.2 * 0.5)
+        assert platform.idle_gb_s > 0  # the provider's keep-alive burn

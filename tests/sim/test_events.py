@@ -1,0 +1,261 @@
+"""Tests for event primitives: succeed/fail, conditions, interrupts."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_event_succeed_delivers_value():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter(env, ev):
+        got.append((yield ev))
+
+    def trigger(env, ev):
+        yield env.timeout(5)
+        ev.succeed("payload")
+
+    env.process(waiter(env, ev))
+    env.process(trigger(env, ev))
+    env.run()
+    assert got == ["payload"]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter(env, ev):
+        try:
+            yield ev
+        except KeyError as err:
+            caught.append(err)
+
+    env.process(waiter(env, ev))
+
+    def trigger(env, ev):
+        yield env.timeout(1)
+        ev.fail(KeyError("gone"))
+
+    env.process(trigger(env, ev))
+    env.run()
+    assert len(caught) == 1
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    done_at = []
+
+    def waiter(env):
+        t1 = env.timeout(2, value="a")
+        t2 = env.timeout(7, value="b")
+        result = yield AllOf(env, [t1, t2])
+        done_at.append(env.now)
+        assert set(result.values()) == {"a", "b"}
+
+    env.process(waiter(env))
+    env.run()
+    assert done_at == [7]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    done_at = []
+
+    def waiter(env):
+        t1 = env.timeout(2, value="fast")
+        t2 = env.timeout(7, value="slow")
+        result = yield AnyOf(env, [t1, t2])
+        done_at.append(env.now)
+        assert "fast" in result.values()
+
+    env.process(waiter(env))
+    env.run()
+    assert done_at == [2]
+
+
+def test_and_or_operators():
+    env = Environment()
+    times = []
+
+    def waiter(env):
+        yield env.timeout(1) & env.timeout(4)
+        times.append(env.now)
+        yield env.timeout(1) | env.timeout(10)
+        times.append(env.now)
+
+    env.process(waiter(env))
+    env.run()
+    assert times == [4, 5]
+
+
+def test_empty_all_of_triggers_immediately():
+    env = Environment()
+    results = []
+
+    def waiter(env):
+        result = yield AllOf(env, [])
+        results.append(result)
+
+    env.process(waiter(env))
+    env.run()
+    assert results == [{}]
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+    record = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+            record.append("slept full")
+        except Interrupt as intr:
+            record.append(("interrupted", env.now, intr.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert record == [("interrupted", 3, "wake up")]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    record = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(5)
+        record.append(env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert record == [8]
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    def late(env, victim):
+        yield env.timeout(5)
+        with pytest.raises(RuntimeError):
+            victim.interrupt()
+
+    victim = env.process(quick(env))
+    env.process(late(env, victim))
+    env.run()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+
+    def selfish(env):
+        proc = env.active_process
+        with pytest.raises(RuntimeError):
+            proc.interrupt()
+        yield env.timeout(1)
+
+    env.process(selfish(env))
+    env.run()
+
+
+def test_stale_timeout_after_interrupt_is_ignored():
+    """After an interrupt, the abandoned timeout must not resume the process."""
+    env = Environment()
+    record = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10)
+            record.append("full sleep")
+        except Interrupt:
+            record.append("interrupted")
+        # Wait past the stale timeout's fire time.
+        yield env.timeout(20)
+        record.append("resumed")
+
+    def interrupter(env, victim):
+        yield env.timeout(2)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert record == ["interrupted", "resumed"]
+
+
+def test_process_return_value_via_join():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(4)
+        return {"answer": 42}
+
+    def joiner(env, worker_proc):
+        result = yield worker_proc
+        return result["answer"]
+
+    w = env.process(worker(env))
+    j = env.process(joiner(env, w))
+    assert env.run(until=j) == 42
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(5)
+
+    p = env.process(worker(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_interrupt_cause_none_by_default():
+    intr = Interrupt()
+    assert intr.cause is None
+    intr2 = Interrupt("reason")
+    assert intr2.cause == "reason"
