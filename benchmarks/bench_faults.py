@@ -1,0 +1,56 @@
+"""PR-1 — fault-injection overhead.
+
+Times the same cluster-scheduling workload with the crash/restart
+injector off and on (requeue recovery active), quantifying what fault
+injection costs in wall-clock and what it costs the simulated system in
+wasted core-seconds.
+"""
+
+import time
+
+from repro.faults.chaos import run_scheduling_scenario, run_serverless_scenario
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_fault_injection_overhead(benchmark, report, table):
+    def run_all():
+        out = {}
+        out["sched off"] = _timed(lambda: run_scheduling_scenario(
+            seed=101, mtbf_s=None, n_tasks=400, n_machines=16))
+        out["sched on"] = _timed(lambda: run_scheduling_scenario(
+            seed=101, mtbf_s=500.0, requeue=True, n_tasks=400,
+            n_machines=16))
+        out["faas off"] = _timed(lambda: run_serverless_scenario(
+            seed=101, error_rate=0.0, n_invocations=1000, rate_per_s=5.0))
+        out["faas on"] = _timed(lambda: run_serverless_scenario(
+            seed=101, error_rate=0.3, retry=True, n_invocations=1000,
+            rate_per_s=5.0))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name, (outcome, wall_s) in results.items():
+        rows.append([
+            name,
+            f"{wall_s * 1000:.1f} ms",
+            f"{outcome['slo_attainment']:.3f}",
+            f"{outcome.get('wasted_core_s', 0.0):.0f}",
+            outcome.get("retries", outcome.get("restarts", 0)),
+        ])
+    sched_overhead = (results["sched on"][1] / results["sched off"][1]) - 1
+    faas_overhead = (results["faas on"][1] / results["faas off"][1]) - 1
+    rows.append(["sched overhead", f"{sched_overhead:+.0%}", "", "", ""])
+    rows.append(["faas overhead", f"{faas_overhead:+.0%}", "", "", ""])
+    report("fault_overhead",
+           "PR-1: injector overhead — same workload, faults off vs on",
+           table(["scenario", "wall clock", "SLO attainment",
+                  "wasted core-s", "retries/restarts"], rows))
+    # Injection must not blow up simulation cost: even with crashes,
+    # requeues, and retries the run stays within an order of magnitude.
+    assert results["sched on"][1] < 10 * max(results["sched off"][1], 1e-3)
+    assert results["faas on"][1] < 10 * max(results["faas off"][1], 1e-3)

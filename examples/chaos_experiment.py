@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Chaos experiment: faults × resilience policies across two domains.
+
+Runs the chaos matrix — serverless invocations under transient error
+rates (with and without retry+backoff) and cluster scheduling under
+machine crash/restart (with and without requeue) — and prints the
+availability/SLO table. The headline: faults without policies measurably
+degrade the SLO; retry and requeue buy it back at a bounded cost in
+billed duplicate work and wasted core-seconds.
+
+Run:  PYTHONPATH=src python examples/chaos_experiment.py
+"""
+
+from repro.faults.chaos import run_chaos_matrix
+
+
+def main():
+    report = run_chaos_matrix(seed=42,
+                              serverless_error_rates=(0.0, 0.15, 0.3),
+                              scheduling_mtbfs=(None, 500.0))
+    print(report.format())
+
+    base = report.cell("serverless", "none", "none")
+    worst = report.cell("serverless", "transient p=0.3", "none")
+    cured = report.cell("serverless", "transient p=0.3", "retry+backoff")
+    print(f"\nserverless SLO: {base.slo_attainment:.3f} fault-free, "
+          f"{worst.slo_attainment:.3f} under 30% faults, "
+          f"{cured.slo_attainment:.3f} with retry "
+          f"(mean {cured.details['mean_attempts']:.2f} attempts billed)")
+
+
+if __name__ == "__main__":
+    main()

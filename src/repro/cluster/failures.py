@@ -1,7 +1,12 @@
 """Failure injection: machines fail and recover over simulated time.
 
 Availability is one of the paper's first-class non-functional requirements
-(P3); experiments use this injector to test designs under churn.
+(P3); experiments use this injector to test designs under churn. The
+machinery is the generic :class:`repro.faults.models.CrashRestart` model
+specialized to :class:`~repro.cluster.machine.Machine` targets: a crash
+wipes the machine's allocations *at failure time* (bumping its incarnation
+so in-flight releases are recognized as stale), and repair simply returns
+it to service.
 """
 
 from __future__ import annotations
@@ -11,11 +16,12 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.machine import Machine, MachineState
+from repro.cluster.machine import Machine
+from repro.faults.models import CrashRestart
 from repro.sim import Environment, Monitor
 
 
-class FailureInjector:
+class FailureInjector(CrashRestart):
     """Fails and repairs machines of a cluster with exponential holding times.
 
     Parameters
@@ -34,43 +40,32 @@ class FailureInjector:
                  mtbf_s: float = 24 * 3600.0, mttr_s: float = 600.0,
                  on_failure: Optional[Callable[[Machine], None]] = None,
                  monitor: Optional[Monitor] = None):
-        if mtbf_s <= 0 or mttr_s <= 0:
-            raise ValueError("mtbf_s and mttr_s must be positive")
-        self.env = env
         self.cluster = cluster
-        self.rng = rng
-        self.mtbf_s = mtbf_s
-        self.mttr_s = mttr_s
-        self.on_failure = on_failure
-        self.monitor = monitor
-        self.failures = 0
-        self.repairs = 0
-        self._procs = [
-            env.process(self._machine_life(machine))
-            for machine in cluster.machines
-        ]
+        self._up_monitor = monitor
+        super().__init__(
+            env, cluster.machines, rng, mtbf_s=mtbf_s, mttr_s=mttr_s,
+            on_fail=on_failure, monitor=monitor, name="machine")
 
-    def _machine_life(self, machine: Machine):
-        while True:
-            yield self.env.timeout(float(self.rng.exponential(self.mtbf_s)))
-            if machine.state is not MachineState.UP:
-                continue
-            machine.state = MachineState.DOWN
-            self.failures += 1
-            if self.monitor is not None:
-                self.monitor.count("machine_failures", key=machine.name)
-                self.monitor.record(
-                    "up_machines", len(self.cluster.up_machines()))
-            if self.on_failure is not None:
-                self.on_failure(machine)
-            yield self.env.timeout(float(self.rng.exponential(self.mttr_s)))
-            machine.state = MachineState.UP
-            machine.used_cores = 0
-            machine.used_memory_gb = 0.0
-            self.repairs += 1
-            if self.monitor is not None:
-                self.monitor.record(
-                    "up_machines", len(self.cluster.up_machines()))
+    # Keep the historical callback attribute name as an alias.
+    @property
+    def on_failure(self):
+        return self.on_fail
+
+    @on_failure.setter
+    def on_failure(self, callback):
+        self.on_fail = callback
+
+    def fail_now(self, machine: Machine) -> None:
+        super().fail_now(machine)
+        if self._up_monitor is not None:
+            self._up_monitor.record(
+                "up_machines", len(self.cluster.up_machines()))
+
+    def repair_now(self, machine: Machine) -> None:
+        super().repair_now(machine)
+        if self._up_monitor is not None:
+            self._up_monitor.record(
+                "up_machines", len(self.cluster.up_machines()))
 
     def availability(self) -> float:
         """Fraction of machines currently up."""

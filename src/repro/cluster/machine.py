@@ -43,6 +43,8 @@ class Machine:
     used_memory_gb: float = 0.0
     #: Bookkeeping for utilization accounting.
     busy_time: float = 0.0
+    #: Bumped on every crash; allocations from earlier incarnations are void.
+    incarnation: int = 0
     tags: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -78,13 +80,46 @@ class Machine:
         self.used_cores += cores
         self.used_memory_gb += memory_gb
 
-    def release(self, cores: int, memory_gb: float = 0.0) -> None:
+    def release(self, cores: int, memory_gb: float = 0.0,
+                incarnation: Optional[int] = None) -> bool:
+        """Return an allocation; True if it was actually accounted.
+
+        Callers that may outlive a crash pass the ``incarnation`` observed
+        at :meth:`allocate` time: a crash (:meth:`fail`) wipes all
+        allocations and bumps the incarnation, so a release for a task that
+        died mid-crash is recognized as stale and ignored instead of
+        double-freeing or driving the counters negative.
+        """
+        if incarnation is not None and incarnation != self.incarnation:
+            return False  # stale: allocation already wiped by a crash
         if cores > self.used_cores:
+            if incarnation is None and self.incarnation > 0:
+                # Legacy caller racing a crash: tolerate, clamp to empty.
+                self.used_cores = 0
+                self.used_memory_gb = 0.0
+                return False
             raise RuntimeError(
                 f"machine {self.name}: releasing {cores} cores but only "
                 f"{self.used_cores} allocated")
         self.used_cores -= cores
         self.used_memory_gb = max(0.0, self.used_memory_gb - memory_gb)
+        return True
+
+    # -- fail-stop life-cycle ----------------------------------------------
+    def fail(self) -> None:
+        """Crash: everything running here dies and its allocations vanish."""
+        self.state = MachineState.DOWN
+        self.used_cores = 0
+        self.used_memory_gb = 0.0
+        self.incarnation += 1
+
+    def repair(self) -> None:
+        """Return to service (allocations were already wiped at crash time)."""
+        self.state = MachineState.UP
+
+    @property
+    def is_up(self) -> bool:
+        return self.state is MachineState.UP
 
     def runtime_of(self, work: float) -> float:
         """Wall-clock time for ``work`` normalized work units."""

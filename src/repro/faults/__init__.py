@@ -1,0 +1,55 @@
+"""Fault injection and resilience for every experiment domain.
+
+The paper's availability/operability requirements (Principle P3, Challenges
+C3/C6) demand that designs be evaluated under realistic failure regimes.
+This package provides the two halves of that evaluation on top of
+:mod:`repro.sim`:
+
+- **fault models** (:mod:`repro.faults.models`) — crash/restart, transient
+  per-operation errors, stragglers, correlated bursts, and message loss,
+  all driven by seeded RNG streams for deterministic replay;
+- **resilience policies** (:mod:`repro.faults.policies`) — retry with
+  backoff, timeouts, circuit breaking, and hedging, as composable
+  sim-process combinators any domain can wrap around its operations.
+
+The chaos harness (:mod:`repro.faults.chaos`) crosses the two into a
+scenario matrix and reports availability/SLO attainment per cell; see
+``examples/chaos_experiment.py``. It is imported lazily (``from
+repro.faults import chaos``) because it pulls in the experiment domains.
+"""
+
+from repro.faults.models import (
+    CorrelatedBurst,
+    CrashRestart,
+    FaultInjectedError,
+    MessageLossModel,
+    StragglerModel,
+    TransientErrorModel,
+)
+from repro.faults.policies import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    Hedge,
+    RetryPolicy,
+    TimeoutExceeded,
+    as_event,
+    with_timeout,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CorrelatedBurst",
+    "CrashRestart",
+    "FaultInjectedError",
+    "Hedge",
+    "MessageLossModel",
+    "RetryPolicy",
+    "StragglerModel",
+    "TimeoutExceeded",
+    "TransientErrorModel",
+    "as_event",
+    "with_timeout",
+]

@@ -1,0 +1,197 @@
+"""The chaos harness: a scenario matrix of fault model × resilience policy.
+
+Each scenario runs one experiment domain under a fault regime, with its
+resilience policy on or off, and reports SLO attainment and availability
+next to the fault-free baseline of the *same seed* — so the matrix answers
+the operational questions directly: how much does this failure mode hurt,
+and how much does the mitigation buy back?
+
+Everything is deterministic under a fixed root seed (Challenge C3): run
+the matrix twice and the tables are identical.
+
+Run ``python examples/chaos_experiment.py`` for the full demo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster import Cluster, FailureInjector
+from repro.faults.models import TransientErrorModel
+from repro.faults.policies import RetryPolicy
+from repro.scheduling.policies import FCFSPolicy
+from repro.scheduling.simulator import ClusterSimulator
+from repro.serverless import FaaSPlatform, FunctionSpec, PlatformConfig
+from repro.sim import Environment, RandomStreams
+from repro.workload.task import BagOfTasks, Task
+
+
+@dataclass
+class ChaosOutcome:
+    """One cell of the chaos matrix."""
+
+    domain: str
+    fault: str
+    policy: str
+    slo_attainment: float
+    availability: float
+    details: dict = field(default_factory=dict)
+
+
+# -- serverless: transient invocation faults vs. platform retries ----------
+
+def run_serverless_scenario(seed: int = 0, error_rate: float = 0.0,
+                            retry: bool = False,
+                            n_invocations: int = 300,
+                            rate_per_s: float = 2.0,
+                            runtime_s: float = 0.5,
+                            slo_s: float = 2.5) -> dict:
+    """Open-loop Poisson traffic against a FaaS platform whose invocations
+    fail transiently; the platform may retry with exponential backoff."""
+    streams = RandomStreams(seed)
+    env = Environment()
+    fault_model = (TransientErrorModel(streams.get("serverless-faults"),
+                                       error_rate)
+                   if error_rate > 0 else None)
+    retry_policy = (RetryPolicy(max_attempts=4, base_delay_s=0.05,
+                                multiplier=2.0, max_delay_s=1.0, jitter=0.1)
+                    if retry else None)
+    platform = FaaSPlatform(
+        env, PlatformConfig(cold_start_s=0.5, keep_alive_s=600.0),
+        fault_model=fault_model, retry_policy=retry_policy,
+        retry_rng=streams.get("retry-jitter"))
+    platform.deploy(FunctionSpec("f", runtime_s=runtime_s, memory_gb=0.5))
+    arrivals = streams.get("serverless-arrivals")
+
+    def driver(env):
+        for _ in range(n_invocations):
+            yield env.timeout(float(arrivals.exponential(1.0 / rate_per_s)))
+            platform.invoke("f")
+
+    env.process(driver(env))
+    # Enough slack past the last arrival for retries to drain.
+    env.run(until=n_invocations / rate_per_s + 120.0)
+    counters = platform.monitor.counters
+    return {
+        "slo_attainment": platform.slo_attainment(slo_s, "f"),
+        "availability": 1.0 - platform.failure_fraction("f"),
+        "invocations": len(platform.invocations),
+        "completed": len(platform.completed("f")),
+        "faults": counters["faults"].total if "faults" in counters else 0,
+        "retries": counters["retries"].total if "retries" in counters else 0,
+        "billed_gb_s": round(platform.billed_gb_s, 6),
+        "mean_attempts": (sum(i.attempts for i in platform.invocations)
+                          / max(1, len(platform.invocations))),
+    }
+
+
+# -- scheduling: machine crashes vs. requeue-and-restart -------------------
+
+def run_scheduling_scenario(seed: int = 0, mtbf_s: Optional[float] = None,
+                            mttr_s: float = 60.0,
+                            requeue: bool = True,
+                            n_tasks: int = 120,
+                            n_machines: int = 8) -> dict:
+    """A bag of tasks on a crashing cluster. Without requeue, work killed
+    by a crash is lost (goodput drops); with requeue it restarts elsewhere."""
+    streams = RandomStreams(seed)
+    env = Environment()
+    cluster = Cluster.homogeneous("chaos", n_machines, cores=4)
+    work_rng = streams.get("task-sizes")
+    tasks = [Task(work=float(work_rng.uniform(20.0, 120.0)))
+             for _ in range(n_tasks)]
+    sim = ClusterSimulator(env, cluster, FCFSPolicy(),
+                           failure_mode="requeue" if requeue else "drop")
+    injector = None
+    if mtbf_s is not None:
+        injector = FailureInjector(
+            env, cluster, streams.get("machine-failures"),
+            mtbf_s=mtbf_s, mttr_s=mttr_s,
+            on_failure=sim.handle_machine_failure)
+        # A repair frees capacity: wake the scheduler so queued work flows.
+        injector.on_repair = sim.handle_machine_repair
+    sim.submit_jobs([BagOfTasks(tasks)])
+    env.run(until=sim._scheduler)
+    metrics = sim.metrics()
+    total_core_s = sim.goodput_core_s + sim.wasted_core_s
+    return {
+        "slo_attainment": metrics.completed_fraction,
+        "availability": (injector.empirical_availability()
+                         if injector is not None else 1.0),
+        "completed": metrics.n_tasks,
+        "lost": len(sim.failed),
+        "restarts": sim.restarts,
+        "goodput_core_s": round(sim.goodput_core_s, 3),
+        "wasted_core_s": round(sim.wasted_core_s, 3),
+        "wasted_fraction": (round(sim.wasted_core_s / total_core_s, 6)
+                            if total_core_s else 0.0),
+        "makespan_s": round(metrics.makespan_s, 3),
+    }
+
+
+# -- the matrix ------------------------------------------------------------
+
+@dataclass
+class ChaosReport:
+    """All cells of one chaos run, with a renderable summary table."""
+
+    seed: int
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    def rows(self) -> list[list]:
+        return [[o.domain, o.fault, o.policy,
+                 f"{o.slo_attainment:.3f}", f"{o.availability:.3f}"]
+                for o in self.outcomes]
+
+    def format(self) -> str:
+        headers = ["domain", "fault", "policy", "SLO attainment",
+                   "availability"]
+        rows = [headers] + self.rows()
+        widths = [max(len(str(r[i])) for r in rows)
+                  for i in range(len(headers))]
+        lines = []
+        for i, row in enumerate(rows):
+            lines.append("  ".join(str(c).ljust(w)
+                                   for c, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    def cell(self, domain: str, fault: str, policy: str) -> ChaosOutcome:
+        for o in self.outcomes:
+            if (o.domain, o.fault, o.policy) == (domain, fault, policy):
+                return o
+        raise KeyError((domain, fault, policy))
+
+
+def run_chaos_matrix(seed: int = 0,
+                     serverless_error_rates: tuple = (0.0, 0.15, 0.3),
+                     scheduling_mtbfs: tuple = (None, 500.0)) -> ChaosReport:
+    """The full matrix: every fault level × policy off/on, both domains."""
+    report = ChaosReport(seed=seed)
+    for rate in serverless_error_rates:
+        policies = [False] if rate == 0.0 else [False, True]
+        for retry in policies:
+            result = run_serverless_scenario(seed=seed, error_rate=rate,
+                                             retry=retry)
+            report.outcomes.append(ChaosOutcome(
+                domain="serverless",
+                fault="none" if rate == 0.0 else f"transient p={rate}",
+                policy="retry+backoff" if retry else "none",
+                slo_attainment=result["slo_attainment"],
+                availability=result["availability"],
+                details=result))
+    for mtbf in scheduling_mtbfs:
+        policies = [True] if mtbf is None else [False, True]
+        for requeue in policies:
+            result = run_scheduling_scenario(seed=seed, mtbf_s=mtbf,
+                                             requeue=requeue)
+            report.outcomes.append(ChaosOutcome(
+                domain="scheduling",
+                fault="none" if mtbf is None else f"crash mtbf={mtbf:g}s",
+                policy="requeue" if requeue else "none",
+                slo_attainment=result["slo_attainment"],
+                availability=result["availability"],
+                details=result))
+    return report

@@ -1,0 +1,85 @@
+"""Straggler mitigation for graph-analytics jobs via hedged execution.
+
+Graphalytics-style platform runs are long, and one slow executor (skewed
+partition, sick node) multiplies a job's completion time — the classic
+straggler problem. Retry does not help a job that is slow-but-alive; the
+mitigation is *hedging*: after a quantile delay, launch a speculative
+duplicate and take whichever finishes first.
+
+This module replays a set of modeled job times (e.g. the
+``modeled_time_s`` column of a :class:`~repro.graphalytics.benchmark.
+BenchmarkReport`) through the DES with a :class:`~repro.faults.models.
+StragglerModel` and an optional :class:`~repro.faults.policies.Hedge`,
+quantifying how much tail the hedge buys back and what it costs in
+duplicate work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.faults.models import StragglerModel
+from repro.faults.policies import Hedge
+from repro.sim import AllOf, Environment
+
+
+@dataclass
+class StragglerRunResult:
+    """Completion statistics of one straggler-afflicted batch."""
+
+    n_jobs: int
+    makespan_s: float
+    mean_time_s: float
+    p95_time_s: float
+    stragglers: int
+    #: Total attempts launched (> n_jobs when hedging duplicated work).
+    attempts: int
+    hedge_wins: int
+
+    @property
+    def duplicate_work_fraction(self) -> float:
+        return self.attempts / self.n_jobs - 1.0 if self.n_jobs else 0.0
+
+
+def run_jobs_with_stragglers(
+        job_times_s: Sequence[float],
+        straggler: StragglerModel,
+        hedge: Optional[Hedge] = None,
+        env: Optional[Environment] = None) -> StragglerRunResult:
+    """Run every job concurrently; each *attempt* redraws its straggler fate.
+
+    Without a hedge, a straggler multiplies its job's time. With a hedge,
+    the duplicate attempt redraws — it is unlikely to straggle too, so the
+    winner is usually the healthy copy.
+    """
+    if not job_times_s:
+        raise ValueError("need at least one job time")
+    env = env or Environment()
+    times: list[float] = []
+
+    def attempt(base_s: float):
+        yield env.timeout(base_s * straggler.runtime_factor())
+
+    def job(base_s: float):
+        start = env.now
+        if hedge is not None:
+            yield from hedge.run(env, lambda: attempt(base_s))
+        else:
+            yield env.process(attempt(base_s))
+        times.append(env.now - start)
+
+    jobs = [env.process(job(float(t))) for t in job_times_s]
+    env.run(until=AllOf(env, jobs))
+    arr = np.asarray(times)
+    return StragglerRunResult(
+        n_jobs=len(arr),
+        makespan_s=float(env.now),
+        mean_time_s=float(arr.mean()),
+        p95_time_s=float(np.percentile(arr, 95)),
+        stragglers=straggler.stragglers,
+        attempts=hedge.launched if hedge is not None else len(arr),
+        hedge_wins=hedge.hedge_wins if hedge is not None else 0,
+    )

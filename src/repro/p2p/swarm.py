@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.faults.models import MessageLossModel
 from repro.p2p.peer import ContentDescriptor, Peer, PeerClass, PEER_CLASSES
 from repro.p2p.tracker import Tracker
 from repro.sim import Environment, Monitor
@@ -43,6 +44,12 @@ class SwarmConfig:
     #: A leecher with fraction f of the content uploads at
     #: upload * min(1, f / useful_fraction); models piece availability.
     useful_fraction: float = 0.25
+    #: Fraction of transferred payload lost on the wire; lost pieces are
+    #: re-requested, so downloads slow down but eventually complete.
+    loss_rate: float = 0.0
+    #: Mean leecher session length before churn aborts the download
+    #: (None = no churn). Exponential sessions, drawn per round.
+    mean_session_s: Optional[float] = None
 
     def __post_init__(self):
         total = sum(p for _, p in self.peer_mix)
@@ -50,6 +57,10 @@ class SwarmConfig:
             raise ValueError(f"peer_mix probabilities sum to {total}, not 1")
         if not 0 < self.efficiency <= 1:
             raise ValueError("efficiency must be in (0, 1]")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.mean_session_s is not None and self.mean_session_s <= 0:
+            raise ValueError("mean_session_s must be positive")
 
 
 @dataclass
@@ -77,6 +88,14 @@ class SwarmResult:
             return 0.0
         return len(self.completed) / len(leechers)
 
+    @property
+    def churned_count(self) -> int:
+        return sum(1 for p in self.peers if p.aborted)
+
+    @property
+    def re_requested_mb(self) -> float:
+        return float(sum(p.re_requested_mb for p in self.peers))
+
     def peak_swarm_size(self) -> int:
         series = self.monitor.series.get("swarm_size")
         return int(max(series.values)) if series and series.values else 0
@@ -96,6 +115,10 @@ class Swarm:
         self.monitor = Monitor(env)
         self.peers: list[Peer] = []
         self.completed: list[Peer] = []
+        self.loss = (MessageLossModel(rng, config.loss_rate)
+                     if config.loss_rate > 0 else None)
+        #: Leechers that churned out before completing.
+        self.churned = 0
         self._class_names = [name for name, _ in config.peer_mix]
         self._class_probs = [p for _, p in config.peer_mix]
         # Initial seeds: negative arrival time marks them as origin seeds.
@@ -180,7 +203,14 @@ class Swarm:
         for peer, share in uploaders:
             peer.uploaded_mb += uploaded_total * share / supply_sum
         for peer, rate in zip(leechers, rates):
-            peer.downloaded_mb = min(size, peer.downloaded_mb + rate * dt)
+            transfer = rate * dt
+            if self.loss is not None and transfer > 0:
+                # Lost pieces consume the sender's bandwidth but deliver no
+                # progress; the receiver re-requests them next rounds.
+                goodput = self.loss.transfer(transfer)
+                peer.re_requested_mb += transfer - goodput
+                transfer = goodput
+            peer.downloaded_mb = min(size, peer.downloaded_mb + transfer)
             if peer.downloaded_mb >= size - 1e-9 and not peer.is_seed:
                 peer.is_seed = True
                 peer.completed_at = self.env.now + dt
@@ -188,11 +218,23 @@ class Swarm:
 
     def _departures(self) -> None:
         now = self.env.now
+        cfg = self.config
+        churn_p = (1.0 - float(np.exp(-cfg.round_s / cfg.mean_session_s))
+                   if cfg.mean_session_s is not None else 0.0)
         for peer in self.active_peers():
             if (peer.is_seed and peer.completed_at is not None
                     and now - peer.completed_at >= peer.seed_linger_s):
                 peer.departed_at = now
-                self.tracker.depart(self.config.content.torrent_id, peer)
+                self.tracker.depart(cfg.content.torrent_id, peer)
+            elif (churn_p > 0.0 and not peer.is_seed
+                    and peer.arrival_time >= 0
+                    and self.rng.random() < churn_p):
+                # Churn: the leecher gives up mid-download and leaves.
+                peer.aborted = True
+                peer.departed_at = now
+                self.churned += 1
+                self.monitor.count("churned")
+                self.tracker.depart(cfg.content.torrent_id, peer)
 
     def _record(self) -> None:
         active = self.active_peers()
@@ -200,6 +242,8 @@ class Swarm:
         self.monitor.record("swarm_size", len(active))
         self.monitor.record("seeders", seeds)
         self.monitor.record("leechers", len(active) - seeds)
+        if self.loss is not None:
+            self.monitor.record("re_requested_mb", self.loss.lost_mb)
 
     def result(self) -> SwarmResult:
         return SwarmResult(config=self.config, peers=self.peers,

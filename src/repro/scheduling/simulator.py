@@ -39,6 +39,15 @@ class ScheduleMetrics:
     makespan_s: float
     utilization: float
     job_mean_makespan_s: float = float("nan")
+    #: Fraction of submitted-and-settled tasks that completed (tasks lost
+    #: to machine failures in "drop" mode count against it).
+    completed_fraction: float = 1.0
+    #: Core-seconds of work that finished (useful work delivered).
+    goodput_core_s: float = 0.0
+    #: Core-seconds burned by executions killed mid-flight by failures.
+    wasted_core_s: float = 0.0
+    #: Task executions restarted after machine failures.
+    restarts: int = 0
 
     def objective(self) -> float:
         """The selection objective used throughout: mean bounded slowdown."""
@@ -53,14 +62,23 @@ class ClusterSimulator:
     """
 
     def __init__(self, env: Environment, cluster: Cluster, policy: Policy,
-                 monitor: Optional[Monitor] = None):
+                 monitor: Optional[Monitor] = None,
+                 failure_mode: str = "requeue"):
+        if failure_mode not in ("requeue", "drop"):
+            raise ValueError(
+                f"failure_mode must be 'requeue' or 'drop', got {failure_mode!r}")
         self.env = env
         self.cluster = cluster
         self.policy = policy
         self.monitor = monitor or Monitor(env)
+        #: What happens to tasks killed by a machine crash: "requeue"
+        #: re-executes them elsewhere (fail-restart), "drop" loses them —
+        #: the no-resilience baseline the chaos harness measures against.
+        self.failure_mode = failure_mode
         self.ready: list[Task] = []
         self.running: dict[int, tuple[Task, Machine, float]] = {}
         self.finished: list[Task] = []
+        self.failed: list[Task] = []
         self.jobs: list[Job] = []
         #: Optional hook invoked right before each scheduling pass (the
         #: portfolio scheduler uses it to re-select the policy on queue
@@ -68,7 +86,13 @@ class ClusterSimulator:
         self.pre_schedule = None
         #: Tasks restarted after machine failures.
         self.restarts = 0
+        #: Robustness accounting: useful vs. burned core-seconds.
+        self.goodput_core_s = 0.0
+        self.wasted_core_s = 0.0
         self._procs: dict[int, object] = {}
+        #: Machine incarnation observed when each running task was placed,
+        #: so post-crash releases are recognized as stale.
+        self._incarnations: dict[int, int] = {}
         self._wake = env.event()
         self._done_submitting = False
         self._scheduler = env.process(self._schedule_loop())
@@ -177,6 +201,7 @@ class ClusterSimulator:
         task.state = TaskState.RUNNING
         task.start_time = self.env.now
         self.running[task.task_id] = (task, machine, self.env.now)
+        self._incarnations[task.task_id] = machine.incarnation
         self.monitor.record("queue_length", len(self.ready))
         self._procs[task.task_id] = self.env.process(
             self._execute(task, machine))
@@ -196,23 +221,42 @@ class ClusterSimulator:
             if proc is not None and proc.is_alive:
                 proc.interrupt("machine-failure")
 
+    def handle_machine_repair(self, machine: Machine) -> None:
+        """Wake the scheduler: a repair freed capacity for queued work.
+
+        Wire this as the failure injector's ``on_repair`` callback;
+        without it, a schedule that drained to an all-down cluster would
+        never notice the machines coming back.
+        """
+        self._kick()
+
     def _execute(self, task: Task, machine: Machine):
         from repro.sim import Interrupt
         runtime = machine.runtime_of(task.work)
         try:
             yield self.env.timeout(runtime)
         except Interrupt:
-            # Machine failed under us: requeue; the failure injector owns
-            # the machine's allocation reset on repair.
-            task.state = TaskState.PENDING
-            task.start_time = None
+            # Machine failed under us; the crash already wiped the
+            # machine's allocations (see Machine.fail), so no release.
+            self.wasted_core_s += (self.env.now - task.start_time) * task.cores
+            self.monitor.count("killed_executions")
             del self.running[task.task_id]
             del self._procs[task.task_id]
-            self.restarts += 1
-            self.ready.append(task)
+            self._incarnations.pop(task.task_id, None)
+            if self.failure_mode == "drop":
+                task.state = TaskState.FAILED
+                task.start_time = None
+                self.failed.append(task)
+            else:
+                task.state = TaskState.PENDING
+                task.start_time = None
+                self.restarts += 1
+                self.ready.append(task)
             self._kick()
             return
-        machine.release(task.cores, task.memory_gb)
+        machine.release(task.cores, task.memory_gb,
+                        incarnation=self._incarnations.pop(task.task_id, None))
+        self.goodput_core_s += runtime * task.cores
         task.state = TaskState.DONE
         task.finish_time = self.env.now
         del self.running[task.task_id]
@@ -246,7 +290,12 @@ class ClusterSimulator:
         capacity = self.cluster.total_cores * makespan if makespan else 1.0
         job_makespans = [j.makespan for j in self.jobs
                          if j.makespan is not None]
+        settled = len(self.finished) + len(self.failed)
         return ScheduleMetrics(
+            completed_fraction=len(self.finished) / settled if settled else 0.0,
+            goodput_core_s=float(self.goodput_core_s),
+            wasted_core_s=float(self.wasted_core_s),
+            restarts=self.restarts,
             policy=self.policy.name,
             n_tasks=len(self.finished),
             mean_wait_s=float(waits.mean()),
@@ -262,10 +311,11 @@ class ClusterSimulator:
 
 def simulate_schedule(jobs: Sequence[Job], cluster: Cluster,
                       policy: Policy,
-                      horizon_s: Optional[float] = None) -> ScheduleMetrics:
+                      horizon_s: Optional[float] = None,
+                      failure_mode: str = "requeue") -> ScheduleMetrics:
     """Run one complete schedule and return its metrics."""
     env = Environment()
-    sim = ClusterSimulator(env, cluster, policy)
+    sim = ClusterSimulator(env, cluster, policy, failure_mode=failure_mode)
     sim.submit_jobs(list(jobs))
     if horizon_s is not None:
         env.run(until=horizon_s)

@@ -13,6 +13,10 @@ from dataclasses import dataclass, field
 from itertools import count
 from typing import Optional
 
+import numpy as np
+
+from repro.faults.models import TransientErrorModel
+from repro.faults.policies import RetryPolicy
 from repro.sim import Environment, Monitor
 
 
@@ -59,6 +63,10 @@ class Invocation:
     finish_time: Optional[float] = None
     cold: bool = False
     rejected: bool = False
+    #: Execution attempts made (1 = no retries).
+    attempts: int = 1
+    #: True when every attempt hit an injected fault (invocation lost).
+    failed: bool = False
 
     @property
     def latency(self) -> Optional[float]:
@@ -87,9 +95,18 @@ class FaaSPlatform:
     """The platform: registry, pools, router, biller."""
 
     def __init__(self, env: Environment,
-                 config: Optional[PlatformConfig] = None):
+                 config: Optional[PlatformConfig] = None,
+                 fault_model: Optional[TransientErrorModel] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 retry_rng: Optional[np.random.Generator] = None):
         self.env = env
         self.config = config or PlatformConfig()
+        #: Optional per-attempt transient failure model (chaos experiments).
+        self.fault_model = fault_model
+        #: Optional platform-side retry of faulted attempts; retries show up
+        #: in billing (failed attempts bill too) and in tail latency.
+        self.retry_policy = retry_policy
+        self._retry_rng = retry_rng
         self.functions: dict[str, FunctionSpec] = {}
         self._pools: dict[str, list[_Instance]] = {}
         self._ids = count()
@@ -157,30 +174,52 @@ class FaaSPlatform:
 
     def _execute(self, inv: Invocation, done):
         spec = self.functions[inv.function]
-        inst, cold = self._acquire_instance(inv.function)
-        if inst is None:
-            inv.rejected = True
-            self.monitor.count("rejections", key=inv.function)
-            done.succeed(inv)
-            return
-        inv.cold = cold
-        setup = self.config.cold_start_s if cold else 0.0
-        # Account idle time of a reused warm instance.
-        if not cold:
-            self.idle_gb_s += (self.env.now - inst.idle_since) * spec.memory_gb
-        inst.busy_until = self.env.now + setup + spec.runtime_s
-        if cold:
-            yield self.env.timeout(setup)
-        inv.start_time = self.env.now
-        yield self.env.timeout(spec.runtime_s)
-        inv.finish_time = self.env.now
-        inst.idle_since = self.env.now
-        billed_s = spec.runtime_s + (setup if self.config.bill_cold_start
-                                     else 0.0)
-        self.billed_gb_s += billed_s * spec.memory_gb
-        self.monitor.count("invocations", key=inv.function)
-        self.monitor.record(f"latency:{inv.function}", inv.latency)
-        done.succeed(inv)
+        max_attempts = (self.retry_policy.max_attempts
+                        if self.retry_policy is not None else 1)
+        attempt = 0
+        while True:
+            attempt += 1
+            inv.attempts = attempt
+            inst, cold = self._acquire_instance(inv.function)
+            if inst is None:
+                inv.rejected = True
+                self.monitor.count("rejections", key=inv.function)
+                done.succeed(inv)
+                return
+            inv.cold = inv.cold or cold
+            setup = self.config.cold_start_s if cold else 0.0
+            # Account idle time of a reused warm instance.
+            if not cold:
+                self.idle_gb_s += ((self.env.now - inst.idle_since)
+                                   * spec.memory_gb)
+            inst.busy_until = self.env.now + setup + spec.runtime_s
+            if cold:
+                yield self.env.timeout(setup)
+            if inv.start_time is None:
+                inv.start_time = self.env.now
+            yield self.env.timeout(spec.runtime_s)
+            inst.idle_since = self.env.now
+            # Every attempt bills, faulted or not (as on real platforms).
+            billed_s = spec.runtime_s + (setup if self.config.bill_cold_start
+                                         else 0.0)
+            self.billed_gb_s += billed_s * spec.memory_gb
+            faulted = (self.fault_model is not None
+                       and self.fault_model.should_fail())
+            if not faulted:
+                inv.finish_time = self.env.now
+                self.monitor.count("invocations", key=inv.function)
+                self.monitor.record(f"latency:{inv.function}", inv.latency)
+                done.succeed(inv)
+                return
+            self.monitor.count("faults", key=inv.function)
+            if attempt >= max_attempts:
+                inv.failed = True
+                self.monitor.count("failed_invocations", key=inv.function)
+                done.succeed(inv)
+                return
+            self.monitor.count("retries", key=inv.function)
+            yield self.env.timeout(
+                self.retry_policy.backoff_s(attempt, self._retry_rng))
 
     def _reaper(self):
         """Reap instances idle past the keep-alive window."""
@@ -220,3 +259,26 @@ class FaaSPlatform:
         return [i for i in self.invocations
                 if i.finish_time is not None
                 and (name is None or i.function == name)]
+
+    def failure_fraction(self, name: Optional[str] = None) -> float:
+        """Fraction of invocations lost to faults (after any retries)."""
+        pool = [i for i in self.invocations
+                if name is None or i.function == name]
+        if not pool:
+            return 0.0
+        return sum(1 for i in pool if i.failed or i.rejected) / len(pool)
+
+    def slo_attainment(self, threshold_s: float,
+                       name: Optional[str] = None) -> float:
+        """Fraction of invocations that completed within ``threshold_s``.
+
+        Failed and rejected invocations count as SLO misses — an answer
+        that never arrives is worse than a slow one.
+        """
+        pool = [i for i in self.invocations
+                if name is None or i.function == name]
+        if not pool:
+            return 1.0
+        ok = sum(1 for i in pool
+                 if i.latency is not None and i.latency <= threshold_s)
+        return ok / len(pool)

@@ -1,0 +1,71 @@
+"""Tests for the chaos harness scenario matrix."""
+
+from repro.faults.chaos import (
+    ChaosOutcome,
+    run_chaos_matrix,
+    run_scheduling_scenario,
+    run_serverless_scenario,
+)
+
+
+class TestServerlessScenario:
+    def test_fault_free_baseline_is_healthy(self):
+        result = run_serverless_scenario(seed=5, error_rate=0.0,
+                                         n_invocations=100)
+        assert result["slo_attainment"] == 1.0
+        assert result["availability"] == 1.0
+        assert result["faults"] == 0
+
+    def test_faults_without_retry_lose_invocations(self):
+        result = run_serverless_scenario(seed=5, error_rate=0.25,
+                                         retry=False, n_invocations=100)
+        assert result["slo_attainment"] < 0.9
+        assert result["faults"] > 0
+        assert result["retries"] == 0
+
+    def test_retries_bill_for_failed_attempts(self):
+        off = run_serverless_scenario(seed=5, error_rate=0.25, retry=False,
+                                      n_invocations=100)
+        on = run_serverless_scenario(seed=5, error_rate=0.25, retry=True,
+                                     n_invocations=100)
+        assert on["retries"] > 0
+        assert on["mean_attempts"] > 1.0
+        assert on["billed_gb_s"] > off["billed_gb_s"]
+
+
+class TestSchedulingScenario:
+    def test_drop_mode_loses_work(self):
+        result = run_scheduling_scenario(seed=5, mtbf_s=400.0,
+                                         requeue=False)
+        assert result["lost"] > 0
+        assert result["slo_attainment"] < 1.0
+        assert result["wasted_core_s"] > 0
+
+    def test_requeue_recovers_goodput(self):
+        result = run_scheduling_scenario(seed=5, mtbf_s=400.0, requeue=True)
+        assert result["lost"] == 0
+        assert result["slo_attainment"] == 1.0
+        assert result["restarts"] > 0
+        # Work killed mid-flight is burned even though it was re-run.
+        assert result["wasted_core_s"] > 0
+
+
+class TestMatrix:
+    def test_matrix_shape_and_lookup(self):
+        report = run_chaos_matrix(seed=2,
+                                  serverless_error_rates=(0.0, 0.3),
+                                  scheduling_mtbfs=(None, 500.0))
+        # serverless: 1 baseline + 2 policies; scheduling: same.
+        assert len(report.outcomes) == 6
+        cell = report.cell("serverless", "transient p=0.3", "retry+backoff")
+        assert isinstance(cell, ChaosOutcome)
+        assert cell.slo_attainment > report.cell(
+            "serverless", "transient p=0.3", "none").slo_attainment
+
+    def test_format_renders_all_rows(self):
+        report = run_chaos_matrix(seed=2,
+                                  serverless_error_rates=(0.0,),
+                                  scheduling_mtbfs=(None,))
+        text = report.format()
+        assert "SLO attainment" in text
+        assert "serverless" in text and "scheduling" in text

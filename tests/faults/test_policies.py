@@ -1,0 +1,266 @@
+"""Tests for the resilience policy combinators."""
+
+import pytest
+
+from repro.faults import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    FaultInjectedError,
+    Hedge,
+    RetryPolicy,
+    TimeoutExceeded,
+    with_timeout,
+)
+from repro.sim import Environment, RandomStreams
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=2.0,
+                             max_delay_s=5.0, jitter=0.0)
+        assert [policy.backoff_s(a) for a in (1, 2, 3, 4)] == [1, 2, 4, 5]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_s=10.0, jitter=0.2)
+        rng = RandomStreams(3).get("jitter")
+        delays = [policy.backoff_s(1, rng) for _ in range(200)]
+        assert all(8.0 <= d <= 12.0 for d in delays)
+        assert len(set(delays)) > 1
+
+    def test_retries_until_success(self):
+        env = Environment()
+        state = {"fails_left": 2}
+        result = {}
+
+        def attempt():
+            yield env.timeout(1.0)
+            if state["fails_left"] > 0:
+                state["fails_left"] -= 1
+                raise FaultInjectedError("flaky")
+            return "ok"
+
+        def proc(env):
+            policy = RetryPolicy(max_attempts=3, base_delay_s=1.0,
+                                 multiplier=2.0, jitter=0.0)
+            result["value"] = yield from policy.call(env, attempt)
+            result["t"] = env.now
+            result["retries"] = policy.retries
+
+        env.process(proc(env))
+        env.run()
+        # 1s fail + 1s backoff + 1s fail + 2s backoff + 1s success.
+        assert result == {"value": "ok", "t": 6.0, "retries": 2}
+
+    def test_exhaustion_reraises(self):
+        env = Environment()
+
+        def attempt():
+            yield env.timeout(1.0)
+            raise FaultInjectedError("always")
+
+        def proc(env):
+            policy = RetryPolicy(max_attempts=2, base_delay_s=0.1,
+                                 jitter=0.0)
+            yield from policy.call(env, attempt)
+
+        env.process(proc(env))
+        with pytest.raises(FaultInjectedError):
+            env.run()
+
+    def test_non_transient_errors_not_retried(self):
+        env = Environment()
+        calls = {"n": 0}
+
+        def attempt():
+            calls["n"] += 1
+            yield env.timeout(1.0)
+            raise KeyError("a real bug")
+
+        def proc(env):
+            yield from RetryPolicy(max_attempts=5).call(env, attempt)
+
+        env.process(proc(env))
+        with pytest.raises(KeyError):
+            env.run()
+        assert calls["n"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestWithTimeout:
+    def test_fast_attempt_returns_value(self):
+        env = Environment()
+        result = {}
+
+        def fast():
+            yield env.timeout(1.0)
+            return 99
+
+        def proc(env):
+            result["value"] = yield from with_timeout(env, fast(), 5.0)
+
+        env.process(proc(env))
+        env.run()
+        assert result == {"value": 99}
+
+    def test_slow_attempt_times_out(self):
+        env = Environment()
+        result = {}
+
+        def slow():
+            yield env.timeout(60.0)
+
+        def proc(env):
+            try:
+                yield from with_timeout(env, slow(), 2.0)
+            except TimeoutExceeded:
+                result["t"] = env.now
+
+        env.process(proc(env))
+        env.run()
+        assert result == {"t": 2.0}
+
+    def test_abandoned_failure_does_not_crash_the_run(self):
+        env = Environment()
+
+        def doomed():
+            yield env.timeout(10.0)
+            raise FaultInjectedError("too late to matter")
+
+        def proc(env):
+            with pytest.raises(TimeoutExceeded):
+                yield from with_timeout(env, doomed(), 2.0, cancel=False)
+
+        env.process(proc(env))
+        env.run()  # must not raise the abandoned FaultInjectedError
+
+    def test_attempt_failure_propagates(self):
+        env = Environment()
+
+        def broken():
+            yield env.timeout(1.0)
+            raise ValueError("bad input")
+
+        def proc(env):
+            yield from with_timeout(env, broken(), 5.0)
+
+        env.process(proc(env))
+        with pytest.raises(ValueError):
+            env.run()
+
+
+class TestCircuitBreaker:
+    @staticmethod
+    def _failing(env):
+        def attempt():
+            yield env.timeout(0.5)
+            raise FaultInjectedError("down")
+        return attempt
+
+    def test_trips_open_after_threshold_and_recovers(self):
+        env = Environment()
+        breaker = CircuitBreaker(env, failure_threshold=2, cooldown_s=10.0)
+        log = []
+
+        def ok():
+            yield env.timeout(0.5)
+            return "fine"
+
+        def proc(env):
+            for _ in range(2):
+                try:
+                    yield from breaker.call(self._failing(env))
+                except FaultInjectedError:
+                    pass
+            log.append(breaker.state)
+            try:
+                yield from breaker.call(self._failing(env))
+            except CircuitOpenError:
+                log.append("rejected")
+            yield env.timeout(10.0)
+            log.append(breaker.state)       # cooldown over: half-open
+            value = yield from breaker.call(ok)
+            log.append((value, breaker.state))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [BreakerState.OPEN, "rejected", BreakerState.HALF_OPEN,
+                       ("fine", BreakerState.CLOSED)]
+        assert breaker.rejections == 1
+        assert breaker.opens == 1
+
+    def test_half_open_failure_reopens(self):
+        env = Environment()
+        breaker = CircuitBreaker(env, failure_threshold=1, cooldown_s=5.0)
+
+        def proc(env):
+            try:
+                yield from breaker.call(self._failing(env))
+            except FaultInjectedError:
+                pass
+            yield env.timeout(5.0)
+            assert breaker.state is BreakerState.HALF_OPEN
+            try:
+                yield from breaker.call(self._failing(env))
+            except FaultInjectedError:
+                pass
+            assert breaker.state is BreakerState.OPEN
+
+        env.process(proc(env))
+        env.run()
+        assert breaker.opens == 2
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            CircuitBreaker(env, failure_threshold=0)
+
+
+class TestHedge:
+    def test_hedge_beats_straggling_primary(self):
+        env = Environment()
+        durations = iter([10.0, 1.0])
+        result = {}
+
+        def attempt():
+            d = next(durations)
+            yield env.timeout(d)
+            return d
+
+        def proc(env):
+            hedge = Hedge(delay_s=2.0)
+            result["value"] = yield from hedge.run(env, attempt)
+            result["t"] = env.now
+            result["wins"] = hedge.hedge_wins
+            result["launched"] = hedge.launched
+
+        env.process(proc(env))
+        env.run()
+        # Hedge launched at t=2, finishes at t=3, beating the 10s primary.
+        assert result == {"value": 1.0, "t": 3.0, "wins": 1, "launched": 2}
+
+    def test_fast_primary_needs_no_hedge(self):
+        env = Environment()
+        result = {}
+
+        def attempt():
+            yield env.timeout(1.0)
+            return "primary"
+
+        def proc(env):
+            hedge = Hedge(delay_s=5.0)
+            result["value"] = yield from hedge.run(env, attempt)
+            result["hedges"] = hedge.hedges
+
+        env.process(proc(env))
+        env.run()
+        assert result == {"value": "primary", "hedges": 0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Hedge(delay_s=0.0)

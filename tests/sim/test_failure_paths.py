@@ -1,0 +1,156 @@
+"""Failure-path coverage for the event kernel.
+
+Robustness work leans hard on Event.fail, exception propagation into
+waiting processes, and unhandled simulated exceptions surfacing from
+Environment.run — so those paths get dedicated coverage here.
+"""
+
+import traceback
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+class TestEventFail:
+    def test_fail_propagates_into_waiting_process(self):
+        env = Environment()
+        ev = env.event()
+        caught = {}
+
+        def waiter(env):
+            try:
+                yield ev
+            except ValueError as err:
+                caught["err"] = err
+                caught["t"] = env.now
+
+        def failer(env):
+            yield env.timeout(5)
+            ev.fail(ValueError("boom"))
+
+        env.process(waiter(env))
+        env.process(failer(env))
+        env.run()
+        assert isinstance(caught["err"], ValueError)
+        assert caught["t"] == 5
+
+    def test_fail_requires_exception_instance(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_fail_after_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.fail(ValueError("late"))
+
+    def test_unhandled_failed_event_surfaces_from_run(self):
+        env = Environment()
+        env.event().fail(ValueError("nobody listening"))
+        with pytest.raises(ValueError, match="nobody listening"):
+            env.run()
+
+
+class TestProcessExceptions:
+    def test_unhandled_process_exception_surfaces_with_traceback(self):
+        env = Environment()
+
+        def crasher(env):
+            yield env.timeout(1)
+            raise KeyError("lost state")
+
+        env.process(crasher(env))
+        with pytest.raises(KeyError) as excinfo:
+            env.run()
+        # The traceback must point back into the crashing generator,
+        # not just the kernel's dispatch loop.
+        tb = "".join(traceback.format_exception(excinfo.value))
+        assert "crasher" in tb
+        assert "lost state" in str(excinfo.value)
+
+    def test_joining_a_failed_process_reraises(self):
+        env = Environment()
+        caught = {}
+
+        def child(env):
+            yield env.timeout(1)
+            raise RuntimeError("child died")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except RuntimeError as err:
+                caught["err"] = str(err)
+
+        env.process(parent(env))
+        env.run()
+        assert caught == {"err": "child died"}
+
+    def test_run_until_failed_process_raises(self):
+        env = Environment()
+
+        def doomed(env):
+            yield env.timeout(2)
+            raise OSError("disk gone")
+
+        proc = env.process(doomed(env))
+        with pytest.raises(OSError, match="disk gone"):
+            env.run(until=proc)
+
+    def test_exception_in_immediate_process_start(self):
+        env = Environment()
+
+        def crash_on_start(env):
+            raise ZeroDivisionError("bad init")
+            yield  # pragma: no cover - makes this a generator
+
+        env.process(crash_on_start(env))
+        with pytest.raises(ZeroDivisionError):
+            env.run()
+
+
+class TestConditionFailures:
+    def test_allof_fails_when_any_member_fails(self):
+        env = Environment()
+        caught = {}
+
+        def ok(env):
+            yield env.timeout(10)
+
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("member failed")
+
+        def waiter(env):
+            try:
+                yield AllOf(env, [env.process(ok(env)),
+                                  env.process(bad(env))])
+            except ValueError as err:
+                caught["err"] = str(err)
+                caught["t"] = env.now
+
+        env.process(waiter(env))
+        env.run()
+        assert caught == {"err": "member failed", "t": 1}
+
+    def test_anyof_fails_when_first_event_fails(self):
+        env = Environment()
+        caught = {}
+
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("fast failure")
+
+        def waiter(env):
+            try:
+                yield AnyOf(env, [env.timeout(100),
+                                  env.process(bad(env))])
+            except ValueError as err:
+                caught["err"] = str(err)
+
+        env.process(waiter(env))
+        env.run()
+        assert caught == {"err": "fast failure"}
