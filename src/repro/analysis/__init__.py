@@ -1,0 +1,56 @@
+"""simlint: static analysis and runtime sanitizers for the sim kernel.
+
+The deterministic :class:`repro.sim.Environment` and the named
+:class:`repro.sim.RandomStreams` only deliver reproducibility (the paper's
+Challenge C3) if every domain model keeps honoring their contracts — no
+hidden global RNG state, no wall clock, events only from the environment,
+resources released on every path. This package makes those obligations
+machine-checked:
+
+- :mod:`repro.analysis.rules` — the AST lint rules SL001–SL006;
+- :mod:`repro.analysis.lint` — the CLI / API driver
+  (``python -m repro.analysis.lint src/``);
+- :mod:`repro.analysis.baseline` — the ``.simlint-baseline`` suppression
+  file for intentional, documented exceptions;
+- :mod:`repro.analysis.sanitizers` — opt-in runtime checks: the
+  determinism sanitizer (same seed ⇒ same event trace) and the
+  resource-leak sanitizer (no outstanding acquires at teardown).
+"""
+
+from repro.analysis.rules import Finding, RULES, lint_source
+from repro.analysis.baseline import Baseline
+
+_LAZY = {
+    "lint_file": "lint", "lint_paths": "lint", "main": "lint",
+    "DeterminismSanitizer": "sanitizers", "DeterminismViolation": "sanitizers",
+    "ResourceLeakError": "sanitizers", "ResourceLeakSanitizer": "sanitizers",
+    "TraceDigest": "sanitizers",
+}
+
+
+# The CLI and the sanitizers load lazily: the linter itself is pure stdlib
+# (a bare CI runner can `python -m repro.analysis.lint` without the sim
+# stack's numpy dependency), and eagerly importing the CLI module here
+# would trip runpy's double-import warning under `python -m`.
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is not None:
+        import importlib
+        return getattr(
+            importlib.import_module(f"repro.analysis.{module}"), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Baseline",
+    "DeterminismSanitizer",
+    "DeterminismViolation",
+    "Finding",
+    "ResourceLeakError",
+    "ResourceLeakSanitizer",
+    "RULES",
+    "TraceDigest",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,73 @@
+"""The ``.simlint-baseline`` file: explicit, reviewable suppressions.
+
+A baseline entry records a finding the team has examined and accepted —
+typically a cross-process acquire/release protocol the AST can't follow,
+or a diagnostic wall-clock read that never feeds sim state. Entries are
+keyed by ``(code, path, stripped source line)`` so they survive unrelated
+line-number drift but go stale (and start failing CI) the moment the
+flagged code itself changes.
+
+File format: tab-separated ``CODE<TAB>path<TAB>snippet`` lines; ``#``
+comments and blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.analysis.rules import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".simlint-baseline"
+
+
+class Baseline:
+    """Loads, matches, and writes baseline entries."""
+
+    def __init__(self, entries: Iterable[tuple[str, str, str]] = ()):
+        self.entries: set[tuple[str, str, str]] = set(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        entries = []
+        with open(path, encoding="utf-8") as fh:
+            for raw in fh:
+                line = raw.rstrip("\n")
+                if not line.strip() or line.lstrip().startswith("#"):
+                    continue
+                parts = line.split("\t")
+                if len(parts) != 3:
+                    raise ValueError(
+                        f"{path}: malformed baseline line {line!r} "
+                        "(expected CODE<TAB>path<TAB>snippet)")
+                entries.append((parts[0], parts[1], parts[2]))
+        return cls(entries)
+
+    @classmethod
+    def load_if_exists(cls, path: str) -> "Baseline":
+        if os.path.isfile(path):
+            return cls.load(path)
+        return cls()
+
+    def matches(self, finding: Finding) -> bool:
+        return (finding.code, finding.path, finding.snippet) in self.entries
+
+    def split(self, findings: Iterable[Finding]
+              ) -> tuple[list[Finding], list[Finding]]:
+        """(new findings, baselined findings)."""
+        new, known = [], []
+        for f in findings:
+            (known if self.matches(f) else new).append(f)
+        return new, known
+
+    def write(self, path: str, findings: Iterable[Finding]) -> None:
+        rows = sorted({(f.code, f.path, f.snippet) for f in findings})
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("# simlint baseline — accepted findings, one per line.\n")
+            fh.write("# Format: CODE<TAB>path<TAB>stripped source line.\n")
+            fh.write("# Regenerate: python -m repro.analysis.lint src/ "
+                     "--write-baseline\n")
+            for code, fpath, snippet in rows:
+                fh.write(f"{code}\t{fpath}\t{snippet}\n")

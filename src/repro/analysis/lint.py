@@ -1,0 +1,130 @@
+"""simlint driver: walk files, apply the rules, report, gate CI.
+
+Usage::
+
+    python -m repro.analysis.lint src/ [--format=text|json]
+        [--baseline .simlint-baseline] [--no-baseline] [--write-baseline]
+
+Exit codes: 0 clean (modulo baseline), 1 findings, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Iterable, Optional
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.rules import RULES, Finding, lint_source
+
+__all__ = ["lint_file", "lint_paths", "main"]
+
+
+def _iter_py_files(path: str):
+    if os.path.isfile(path):
+        yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(d for d in dirnames
+                             if not d.startswith(".") and d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def _rel(path: str, root: Optional[str]) -> str:
+    base = root or os.getcwd()
+    try:
+        rel = os.path.relpath(path, base)
+    except ValueError:  # different drive (windows)
+        rel = path
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def lint_file(path: str, root: Optional[str] = None) -> list[Finding]:
+    """Lint one file; paths in findings are relative to ``root`` (or cwd)."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, path=_rel(path, root))
+
+
+def lint_paths(paths: Iterable[str],
+               root: Optional[str] = None) -> list[Finding]:
+    """Lint files and directory trees; returns all findings, sorted."""
+    findings: list[Finding] = []
+    for path in paths:
+        if not os.path.exists(path):
+            raise FileNotFoundError(path)
+        for file_path in _iter_py_files(path):
+            findings.extend(lint_file(file_path, root=root))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def _render_text(new: list[Finding], known: list[Finding]) -> str:
+    lines = [f.format() for f in new]
+    summary = (f"{len(new)} finding(s)"
+               + (f", {len(known)} baselined" if known else ""))
+    if new:
+        lines.append(summary)
+    else:
+        lines.append(f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def _render_json(new: list[Finding], known: list[Finding]) -> str:
+    return json.dumps({
+        "findings": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in known],
+        "count": len(new),
+        "rules": {r.code: r.summary for r in RULES},
+    }, indent=2)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="simlint: determinism & resource-safety checks "
+                    "for the sim kernel and its domain models.")
+    parser.add_argument("paths", nargs="+", help="files or directories")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE_NAME,
+                        help="baseline file (default: %(default)s)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings as failures too")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the baseline")
+    args = parser.parse_args(argv)
+
+    # Anchor finding paths to the baseline's directory, so entries match
+    # no matter which cwd the linter is invoked from.
+    root = os.path.dirname(os.path.abspath(args.baseline))
+    try:
+        findings = lint_paths(args.paths, root=root)
+    except FileNotFoundError as err:
+        print(f"simlint: no such path: {err}", file=sys.stderr)
+        return 2
+    except SyntaxError as err:
+        print(f"simlint: cannot parse {err.filename}:{err.lineno}: {err.msg}",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline().write(args.baseline, findings)
+        print(f"wrote {len(findings)} entr(y/ies) to {args.baseline}")
+        return 0
+
+    baseline = (Baseline() if args.no_baseline
+                else Baseline.load_if_exists(args.baseline))
+    new, known = baseline.split(findings)
+    render = _render_json if args.format == "json" else _render_text
+    print(render(new, known))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

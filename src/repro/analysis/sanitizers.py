@@ -1,0 +1,172 @@
+"""Runtime sanitizers: determinism and resource-leak checks for scenarios.
+
+The static rules in :mod:`repro.analysis.rules` catch the obvious contract
+breaches; these sanitizers catch the rest *empirically*, the way race
+detectors and memory sanitizers back up code review:
+
+- :class:`DeterminismSanitizer` runs a scenario N times and diffs a
+  digest of every dispatched event ``(t, eid, kind)`` across runs — a
+  single stray RNG draw, wall-clock read, or set-ordered decision shows
+  up as a digest mismatch with the first diverging step.
+- :class:`ResourceLeakSanitizer` audits tracked resources/machines at
+  teardown for outstanding acquires — the runtime analogue of SL004.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any, Callable, Optional
+
+from repro.sim.environment import Environment
+
+__all__ = [
+    "DeterminismSanitizer",
+    "DeterminismViolation",
+    "ResourceLeakError",
+    "ResourceLeakSanitizer",
+    "TraceDigest",
+]
+
+
+class DeterminismViolation(AssertionError):
+    """Two same-seed runs of a scenario produced different event traces."""
+
+
+class ResourceLeakError(AssertionError):
+    """A tracked resource still held acquisitions at teardown."""
+
+
+class TraceDigest:
+    """A streaming SHA-256 digest over dispatched events.
+
+    Install it as an environment tracer; each dispatched event folds
+    ``(t, eid, kind)`` into the digest. ``keep`` retains the first N raw
+    events so a mismatch can be localized, without storing whole traces.
+    """
+
+    def __init__(self, keep: int = 64):
+        self._hash = hashlib.sha256()
+        self.events = 0
+        self.keep = keep
+        self.head: list[tuple[float, int, str]] = []
+
+    def __call__(self, t: float, eid: int, kind: str) -> None:
+        self._hash.update(struct.pack("<d", t))
+        self._hash.update(eid.to_bytes(8, "little", signed=False))
+        self._hash.update(kind.encode())
+        if self.events < self.keep:
+            self.head.append((t, eid, kind))
+        self.events += 1
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+def _first_divergence(a: "TraceDigest", b: "TraceDigest") -> str:
+    for i, (ea, eb) in enumerate(zip(a.head, b.head)):
+        if ea != eb:
+            return f"first divergence at dispatch #{i}: {ea} vs {eb}"
+    if a.events != b.events:
+        return f"event counts differ: {a.events} vs {b.events}"
+    return "divergence beyond the retained trace head"
+
+
+class DeterminismSanitizer:
+    """Runs a scenario repeatedly and requires identical event traces.
+
+    The scenario is any zero-argument callable that builds its own
+    environment(s) and runs them — e.g. ``lambda:
+    run_chaos_matrix(seed=7)``. All environments constructed while the
+    scenario runs are traced via :meth:`Environment.traced`.
+    """
+
+    def __init__(self, runs: int = 2, keep: int = 64):
+        if runs < 2:
+            raise ValueError("need at least 2 runs to compare")
+        self.runs = runs
+        self.keep = keep
+        self.digests: list[TraceDigest] = []
+
+    def record(self, scenario: Callable[[], Any]) -> TraceDigest:
+        """One traced execution of ``scenario``; returns its digest."""
+        digest = TraceDigest(keep=self.keep)
+        with Environment.traced(digest):
+            scenario()
+        return digest
+
+    def check(self, scenario: Callable[[], Any],
+              label: str = "scenario") -> str:
+        """Run ``scenario`` ``runs`` times; raise on any trace mismatch.
+
+        Returns the (common) hex digest on success.
+        """
+        self.digests = [self.record(scenario) for _ in range(self.runs)]
+        first = self.digests[0]
+        for i, other in enumerate(self.digests[1:], start=2):
+            if other.hexdigest() != first.hexdigest():
+                raise DeterminismViolation(
+                    f"{label}: run 1 and run {i} diverged after dispatching "
+                    f"{first.events} vs {other.events} events — "
+                    f"{_first_divergence(first, other)}")
+        return first.hexdigest()
+
+
+class ResourceLeakSanitizer:
+    """Audits outstanding acquisitions on tracked resources at teardown.
+
+    Works with the kernel's :class:`~repro.sim.Resource` family (``users``
+    /``queue``), :class:`~repro.cluster.machine.Machine` (``used_cores``/
+    ``used_memory_gb``), and :class:`~repro.sim.Container` (negative
+    levels can't happen in-kernel, but a floor can be asserted).
+    """
+
+    def __init__(self):
+        self._tracked: list[tuple[str, Any]] = []
+
+    def track(self, obj: Any, name: Optional[str] = None) -> Any:
+        """Register ``obj`` for the teardown audit; returns ``obj``."""
+        label = name or f"{type(obj).__name__}@{len(self._tracked)}"
+        self._tracked.append((label, obj))
+        return obj
+
+    def leaks(self) -> list[str]:
+        """Human-readable descriptions of every outstanding acquisition."""
+        problems: list[str] = []
+        for label, obj in self._tracked:
+            users = getattr(obj, "users", None)
+            if users:
+                problems.append(
+                    f"{label}: {len(users)} unreleased request(s)")
+            queue = getattr(obj, "queue", None)
+            if queue:
+                problems.append(
+                    f"{label}: {len(queue)} request(s) still queued")
+            used_cores = getattr(obj, "used_cores", 0)
+            if used_cores:
+                problems.append(
+                    f"{label}: {used_cores} core(s) still allocated")
+            used_mem = getattr(obj, "used_memory_gb", 0.0)
+            if used_mem:
+                problems.append(
+                    f"{label}: {used_mem} GB still allocated")
+            level = getattr(obj, "level", None)
+            if level is not None and level < 0:
+                problems.append(f"{label}: negative level {level}")
+        return problems
+
+    def check(self) -> None:
+        """Raise :class:`ResourceLeakError` if anything is still held."""
+        problems = self.leaks()
+        if problems:
+            raise ResourceLeakError(
+                "outstanding acquisitions at teardown:\n  "
+                + "\n  ".join(problems))
+
+    def __enter__(self) -> "ResourceLeakSanitizer":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        # Only audit on clean exit; don't mask the original exception.
+        if exc_type is None:
+            self.check()

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.scheduling.policies import Policy
 from repro.scheduling.simulator import SLOWDOWN_BOUND_S, ClusterSimulator
-from repro.sim import Environment
+from repro.sim import Environment, RandomStreams
 
 
 def queue_pressure_state(simulator: ClusterSimulator,
@@ -74,7 +74,10 @@ class LearningPortfolioScheduler:
         self.epoch_s = epoch_s
         self.epsilon = epsilon
         self.learning_rate = learning_rate
-        self.rng = rng or np.random.default_rng(0)
+        # Named-stream fallback keeps exploration reproducible and isolated
+        # from every other stream (determinism contract, simlint SL001).
+        self.rng = (rng if rng is not None
+                    else RandomStreams(0).get("scheduling.bandit"))
         self.q: dict[tuple[int, str], float] = {
             (state, policy.name): 0.0
             for state in range(n_states) for policy in portfolio

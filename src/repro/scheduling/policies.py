@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.sim.rng import RandomStreams
 from repro.workload.task import Task
 
 
@@ -70,7 +71,12 @@ class RandomPolicy(Policy):
     name = "random"
 
     def __init__(self, rng: Optional[np.random.Generator] = None):
-        self.rng = rng or np.random.default_rng(0)
+        if rng is None:
+            # Determinism contract: default onto a *named* stream rather
+            # than an anonymous generator, so the fallback is reproducible
+            # and isolated from every other stream (simlint SL001).
+            rng = RandomStreams(0).get("scheduling.random-policy")
+        self.rng = rng
 
     def order(self, queue: Sequence[Task], now: float) -> list[Task]:
         queue = list(queue)

@@ -19,6 +19,9 @@ Public surface:
   queues between processes.
 - :class:`RandomStreams` — named, reproducible RNG streams.
 - :class:`Monitor`, :class:`TimeSeries`, :class:`Counter` — instrumentation.
+- :func:`time_eq` — epsilon comparison for sim timestamps (simlint SL006).
+- :class:`DebugViolation` — raised by ``Environment(debug=True)`` when a
+  kernel invariant (clock monotonicity, non-negative delay) fails.
 
 Example
 -------
@@ -42,7 +45,13 @@ from repro.sim.events import (
     Process,
     Timeout,
 )
-from repro.sim.environment import Environment, StopSimulation
+from repro.sim.environment import (
+    DebugViolation,
+    Environment,
+    StopSimulation,
+    TIME_EPSILON,
+    time_eq,
+)
 from repro.sim.resources import (
     Container,
     FilterStore,
@@ -61,6 +70,7 @@ __all__ = [
     "AnyOf",
     "Container",
     "Counter",
+    "DebugViolation",
     "Environment",
     "Event",
     "FilterStore",
@@ -75,7 +85,9 @@ __all__ = [
     "Resource",
     "StopSimulation",
     "Store",
+    "TIME_EPSILON",
     "TimeSeries",
     "Timeout",
     "summarize",
+    "time_eq",
 ]

@@ -3,10 +3,25 @@
 from __future__ import annotations
 
 import heapq
+from contextlib import contextmanager
 from itertools import count
-from typing import Any, Generator, Optional, Union
+from typing import Any, Callable, Generator, Optional, Union
 
 from repro.sim.events import _NORMAL, Event, Process, Timeout
+
+#: Default epsilon for :func:`time_eq`: generous for second-scale sim time,
+#: tight enough to distinguish distinct scheduled instants.
+TIME_EPSILON = 1e-9
+
+
+def time_eq(a: float, b: float, eps: float = TIME_EPSILON) -> bool:
+    """Whether two sim timestamps are equal up to accumulated float error.
+
+    Sim time is a float advanced by summing delays, so exact ``==`` on it
+    is fragile (simlint rule SL006). The tolerance scales with magnitude:
+    ``|a - b| <= eps * max(1, |a|, |b|)``.
+    """
+    return abs(a - b) <= eps * max(1.0, abs(a), abs(b))
 
 
 class StopSimulation(Exception):
@@ -15,6 +30,10 @@ class StopSimulation(Exception):
 
 class EmptySchedule(Exception):
     """Raised when the event queue runs dry before ``until``."""
+
+
+class DebugViolation(AssertionError):
+    """A kernel invariant failed while running with ``debug=True``."""
 
 
 class Environment:
@@ -26,11 +45,37 @@ class Environment:
     deterministic.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    #: Process-wide tracer inherited by environments created inside a
+    #: :meth:`traced` block (the determinism sanitizer's hook).
+    _default_tracer: Optional[Callable[[float, int, str], None]] = None
+
+    def __init__(self, initial_time: float = 0.0, debug: bool = False):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Debug mode: assert kernel invariants (clock monotonicity,
+        #: non-negative delays, sane dispatch counters) on every step.
+        self.debug = debug
+        #: Called as ``tracer(t, eid, kind)`` for every dispatched event.
+        self.tracer = Environment._default_tracer
+        #: Events dispatched so far (a non-negative, monotone counter).
+        self.dispatch_count = 0
+
+    @classmethod
+    @contextmanager
+    def traced(cls, tracer: Callable[[float, int, str], None]):
+        """Install ``tracer`` on every Environment created in the block.
+
+        This is how :class:`repro.analysis.sanitizers.DeterminismSanitizer`
+        observes scenarios that construct their own environments.
+        """
+        previous = cls._default_tracer
+        cls._default_tracer = tracer
+        try:
+            yield tracer
+        finally:
+            cls._default_tracer = previous
 
     def __repr__(self) -> str:
         return f"<Environment t={self._now} queued={len(self._queue)}>"
@@ -69,6 +114,9 @@ class Environment:
     # -- scheduling ------------------------------------------------------------
     def _schedule(self, event: Event, priority: int = _NORMAL,
                   delay: float = 0.0) -> None:
+        if self.debug and delay < 0:
+            raise DebugViolation(
+                f"scheduling {event!r} with negative delay {delay}")
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event))
 
@@ -80,7 +128,15 @@ class Environment:
         """Dispatch exactly one event (advancing the clock to it)."""
         if not self._queue:
             raise EmptySchedule()
-        self._now, _, _, event = heapq.heappop(self._queue)
+        t, _, eid, event = heapq.heappop(self._queue)
+        if self.debug and t < self._now:
+            raise DebugViolation(
+                f"clock would move backwards: {self._now} -> {t} "
+                f"dispatching {event!r}")
+        self._now = t
+        self.dispatch_count += 1
+        if self.tracer is not None:
+            self.tracer(t, eid, type(event).__name__)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

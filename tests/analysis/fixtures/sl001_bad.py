@@ -1,0 +1,26 @@
+"""SL001 fixture (bad): global RNG state and unseeded/module-level RNG."""
+
+import random
+
+import numpy as np
+
+# Module-level draw through global state: runs at import time.
+JITTER = random.random()
+# Module-level construction, even seeded, couples streams at import time.
+MODULE_RNG = np.random.default_rng(42)
+
+
+def sample_delay():
+    # Function-level draw through numpy's global state.
+    return np.random.random()
+
+
+def shuffle_tasks(tasks):
+    # Stdlib global-state RNG inside a function is still shared state.
+    random.shuffle(tasks)
+    return tasks
+
+
+def fresh_generator():
+    # Unseeded: a different stream every process start.
+    return np.random.default_rng()

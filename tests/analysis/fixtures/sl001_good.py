@@ -1,0 +1,23 @@
+"""SL001 fixture (good): named streams and locally seeded generators."""
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+def sample_delay(streams: RandomStreams) -> float:
+    return float(streams.get("delays").exponential(1.0))
+
+
+def local_seeded(seed: int) -> np.random.Generator:
+    # Seeded construction inside a function is reproducible and private.
+    return np.random.default_rng(seed)
+
+
+def keyword_seeded(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed=seed)
+
+
+def annotated(rng: np.random.Generator) -> float:
+    # Type annotations mentioning np.random are not calls.
+    return float(rng.random())

@@ -1,0 +1,24 @@
+"""SL002 fixture (bad): wall-clock reads inside sim code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_event(env, events):
+    # Wall-clock timestamp on a sim event: machine- and load-dependent.
+    events.append((time.time(), env.now))
+
+
+def measure(env):
+    start = perf_counter()
+    env.run(until=100.0)
+    return perf_counter() - start
+
+
+def log_line(message: str) -> str:
+    return f"{datetime.now().isoformat()} {message}"
+
+
+def monotonic_deadline(budget_s: float) -> float:
+    return time.monotonic() + budget_s

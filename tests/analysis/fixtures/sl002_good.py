@@ -1,0 +1,14 @@
+"""SL002 fixture (good): all timing flows from the sim clock."""
+
+
+def stamp_event(env, events):
+    events.append((env.now, "arrival"))
+
+
+def deadline(env, budget_s: float) -> float:
+    return env.now + budget_s
+
+
+def wait_then_stamp(env, delay, log):
+    yield env.timeout(delay)
+    log.append(env.now)

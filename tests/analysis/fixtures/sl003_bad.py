@@ -1,0 +1,20 @@
+"""SL003 fixture (bad): non-event yields inside sim processes."""
+
+
+def worker(env, jobs):
+    for job in jobs:
+        yield env.timeout(job.runtime)
+        # Bare yield: the kernel requires an Event instance.
+        yield
+
+
+def poller(env, interval):
+    while True:
+        yield env.timeout(interval)
+        # Literal yield: crashes the process at runtime.
+        yield 42
+
+
+def batcher(env, batch):
+    yield env.timeout(1.0)
+    yield [env.timeout(1.0), env.timeout(2.0)]

@@ -1,0 +1,23 @@
+"""SL003 fixture (good): sim processes yield only events."""
+
+
+def worker(env, jobs):
+    for job in jobs:
+        yield env.timeout(job.runtime)
+
+
+def ceder(env):
+    # The determinism-safe way to cede the turn at the current instant.
+    yield env.timeout(0)
+
+
+def joiner(env, make_child):
+    child = env.process(make_child(env))
+    result = yield child
+    return result
+
+
+def plain_generator(items):
+    # Not a sim process (no event factories): literal yields are fine.
+    for item in items:
+        yield item

@@ -1,0 +1,19 @@
+"""SL004 fixture (bad): acquires with no release on failure paths."""
+
+
+def hold_slot(env, resource):
+    req = resource.request()
+    yield req
+    yield env.timeout(5.0)
+    # Released only on the happy path: an exception above leaks the slot.
+    resource.release(req)
+
+
+def place_task(machine, task):
+    machine.allocate(task.cores, task.memory_gb)
+    run(task)
+    machine.release(task.cores, task.memory_gb)
+
+
+def run(task):
+    pass

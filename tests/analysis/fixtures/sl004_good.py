@@ -1,0 +1,28 @@
+"""SL004 fixture (good): every acquire is released on all paths."""
+
+
+def hold_slot_with(env, resource):
+    with resource.request() as req:
+        yield req
+        yield env.timeout(5.0)
+
+
+def hold_slot_finally(env, resource):
+    req = resource.request()
+    try:
+        yield req
+        yield env.timeout(5.0)
+    finally:
+        resource.release(req)
+
+
+def place_task(machine, task):
+    machine.allocate(task.cores, task.memory_gb)
+    try:
+        run(task)
+    finally:
+        machine.release(task.cores, task.memory_gb)
+
+
+def run(task):
+    pass

@@ -1,0 +1,21 @@
+"""SL005 fixture (bad): unordered-set iteration feeding decisions."""
+
+
+def dispatch_all(env, ready):
+    for task in set(ready):
+        env.process(task.run(env))
+
+
+def peer_sample(peers):
+    return [p.name for p in frozenset(peers)]
+
+
+def first_machines(names):
+    chosen = []
+    for name in {"m1", "m2", "m3"}:
+        chosen.append(name)
+    return chosen
+
+
+def dedupe_then_schedule(tasks):
+    return [t for t in {t.task_id for t in tasks}]

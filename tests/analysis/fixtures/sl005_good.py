@@ -1,0 +1,20 @@
+"""SL005 fixture (good): set membership is fine; iteration is sorted."""
+
+
+def dispatch_all(env, ready):
+    for task in sorted(set(ready), key=lambda t: t.task_id):
+        env.process(task.run(env))
+
+
+def peer_sample(peers):
+    return [p for p in sorted(frozenset(peers))]
+
+
+def is_known(name, known=frozenset({"m1", "m2"})):
+    # Membership tests on sets are order-free and safe.
+    return name in known
+
+
+def over_a_list(tasks):
+    for task in tasks:
+        yield task

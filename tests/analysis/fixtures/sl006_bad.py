@@ -1,0 +1,14 @@
+"""SL006 fixture (bad): exact float equality against sim time."""
+
+
+def fired_now(env, event_time):
+    return env.now == event_time
+
+
+def not_yet(env, deadline):
+    return env.now != deadline
+
+
+def local_alias(env, stamps):
+    now = env.now
+    return [s for s in stamps if s == now]

@@ -1,0 +1,16 @@
+"""SL006 fixture (good): epsilon comparison and ordering comparisons."""
+
+from repro.sim import time_eq
+
+
+def fired_now(env, event_time):
+    return time_eq(env.now, event_time)
+
+
+def overdue(env, deadline):
+    # Ordering comparisons on sim time are fine; only ==/!= are fragile.
+    return env.now > deadline
+
+
+def within(env, start, budget):
+    return start <= env.now <= start + budget

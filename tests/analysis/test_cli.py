@@ -1,0 +1,108 @@
+"""CLI behavior of ``python -m repro.analysis.lint`` and the self-check."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.lint import lint_paths, main
+from repro.analysis.rules import Finding
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+BAD_SRC = ("import time\n"
+           "def f():\n"
+           "    return time.time()\n")
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD_SRC)
+    return str(path)
+
+
+def test_exit_zero_on_clean_file(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text("def f(env):\n    return env.now + 1\n")
+    assert main([str(path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(bad_file, capsys):
+    assert main([bad_file]) == 1
+    out = capsys.readouterr().out
+    assert "SL002" in out
+
+
+def test_exit_two_on_missing_path(capsys):
+    assert main(["/no/such/path.py"]) == 2
+
+
+def test_exit_two_on_syntax_error(tmp_path, capsys):
+    path = tmp_path / "broken.py"
+    path.write_text("def f(:\n")
+    assert main([str(path)]) == 2
+
+
+def test_json_format(bad_file, capsys):
+    assert main([bad_file, "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    (finding,) = payload["findings"]
+    assert finding["code"] == "SL002"
+    assert finding["line"] == 3
+    assert payload["rules"]["SL002"]
+
+
+def test_write_then_honor_baseline(bad_file, tmp_path, capsys):
+    baseline = str(tmp_path / ".simlint-baseline")
+    assert main([bad_file, "--baseline", baseline, "--write-baseline"]) == 0
+    # With the baseline the same findings no longer fail...
+    assert main([bad_file, "--baseline", baseline]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # ...unless explicitly ignored.
+    assert main([bad_file, "--baseline", baseline, "--no-baseline"]) == 1
+
+
+def test_baseline_goes_stale_when_code_changes(bad_file, tmp_path):
+    baseline = str(tmp_path / ".simlint-baseline")
+    main([bad_file, "--baseline", baseline, "--write-baseline"])
+    with open(bad_file, "w") as fh:
+        fh.write("import time\ndef f():\n    return time.time() + 1\n")
+    # The flagged line changed, so the entry no longer matches.
+    assert main([bad_file, "--baseline", baseline]) == 1
+
+
+def test_baseline_rejects_malformed_lines(tmp_path):
+    path = tmp_path / "b"
+    path.write_text("SL001 only-two-fields\n")
+    with pytest.raises(ValueError, match="malformed"):
+        Baseline.load(str(path))
+
+
+def test_baseline_split():
+    f1 = Finding("SL001", "a.py", 1, 0, "m", "x = 1")
+    f2 = Finding("SL002", "a.py", 2, 0, "m", "y = 2")
+    baseline = Baseline({("SL001", "a.py", "x = 1")})
+    new, known = baseline.split([f1, f2])
+    assert new == [f2] and known == [f1]
+
+
+def test_directory_walk_skips_caches(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("import time\ntime.time()\n")
+    (tmp_path / "ok.py").write_text("X = 1\n")
+    assert lint_paths([str(tmp_path)]) == []
+
+
+def test_selfcheck_repo_src_is_clean_modulo_baseline():
+    """`simlint src/` must stay clean: fix findings or baseline them."""
+    findings = lint_paths([os.path.join(REPO_ROOT, "src")], root=REPO_ROOT)
+    baseline = Baseline.load_if_exists(
+        os.path.join(REPO_ROOT, ".simlint-baseline"))
+    new, _ = baseline.split(findings)
+    assert new == [], "unbaselined simlint findings:\n" + "\n".join(
+        f.format() for f in new)

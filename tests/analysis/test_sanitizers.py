@@ -1,0 +1,178 @@
+"""Runtime sanitizers: determinism, resource leaks, and kernel debug mode."""
+
+import pytest
+
+from repro.analysis.sanitizers import (
+    DeterminismSanitizer,
+    DeterminismViolation,
+    ResourceLeakError,
+    ResourceLeakSanitizer,
+    TraceDigest,
+)
+from repro.cluster.machine import Machine
+from repro.sim import DebugViolation, Environment, RandomStreams, Resource
+
+
+def deterministic_scenario(seed=7):
+    streams = RandomStreams(seed)
+    env = Environment()
+    log = []
+
+    def proc(env, rng):
+        for _ in range(20):
+            yield env.timeout(float(rng.exponential(1.0)))
+            log.append(env.now)
+
+    env.process(proc(env, streams.get("arrivals")))
+    env.run()
+    return log
+
+
+class _SharedState:
+    """Deliberately nondeterministic across runs (simulated leak)."""
+
+    counter = 0
+
+
+def leaky_scenario():
+    _SharedState.counter += 1
+    env = Environment()
+
+    def proc(env):
+        for i in range(_SharedState.counter):
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_determinism_sanitizer_passes_on_seeded_scenario():
+    sanitizer = DeterminismSanitizer(runs=3)
+    digest = sanitizer.check(lambda: deterministic_scenario(seed=11))
+    assert len(digest) == 64
+    assert sanitizer.digests[0].events > 0
+
+
+def test_determinism_sanitizer_digest_varies_with_seed():
+    sanitizer = DeterminismSanitizer()
+    d1 = sanitizer.check(lambda: deterministic_scenario(seed=1))
+    d2 = sanitizer.check(lambda: deterministic_scenario(seed=2))
+    assert d1 != d2
+
+
+def test_determinism_sanitizer_catches_cross_run_state():
+    sanitizer = DeterminismSanitizer()
+    with pytest.raises(DeterminismViolation, match="diverged"):
+        sanitizer.check(leaky_scenario, label="leaky")
+
+
+def test_determinism_sanitizer_requires_two_runs():
+    with pytest.raises(ValueError):
+        DeterminismSanitizer(runs=1)
+
+
+def test_tracer_uninstalled_after_block():
+    digest = TraceDigest()
+    with Environment.traced(digest):
+        env = Environment()
+        assert env.tracer is digest
+    assert Environment._default_tracer is None
+    assert Environment().tracer is None
+
+
+def test_trace_digest_keeps_bounded_head():
+    digest = TraceDigest(keep=3)
+    for i in range(10):
+        digest(float(i), i, "Timeout")
+    assert digest.events == 10
+    assert len(digest.head) == 3
+
+
+# -- resource-leak sanitizer -----------------------------------------------
+
+def test_leak_sanitizer_clean_when_released():
+    env = Environment()
+    sanitizer = ResourceLeakSanitizer()
+    res = sanitizer.track(Resource(env, capacity=1), "slots")
+
+    def proc(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    env.process(proc(env, res))
+    env.run()
+    assert sanitizer.leaks() == []
+    sanitizer.check()  # does not raise
+
+
+def test_leak_sanitizer_flags_unreleased_request():
+    env = Environment()
+    sanitizer = ResourceLeakSanitizer()
+    res = sanitizer.track(Resource(env, capacity=1), "slots")
+
+    def proc(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(1.0)
+        # never released
+
+    env.process(proc(env, res))
+    env.run()
+    with pytest.raises(ResourceLeakError, match="slots.*unreleased"):
+        sanitizer.check()
+
+
+def test_leak_sanitizer_flags_machine_allocation():
+    sanitizer = ResourceLeakSanitizer()
+    machine = sanitizer.track(Machine("m0", cores=4), "m0")
+    machine.allocate(2, 1.0)
+    leaks = sanitizer.leaks()
+    assert any("core(s) still allocated" in leak for leak in leaks)
+    machine.release(2, 1.0)
+    assert sanitizer.leaks() == []
+
+
+def test_leak_sanitizer_context_manager_audits_on_clean_exit():
+    env = Environment()
+    with pytest.raises(ResourceLeakError):
+        with ResourceLeakSanitizer() as sanitizer:
+            res = sanitizer.track(Resource(env), "r")
+            res.request()  # simlint: disable=SL004 — leak on purpose
+
+
+def test_leak_sanitizer_does_not_mask_exceptions():
+    env = Environment()
+    with pytest.raises(RuntimeError, match="original"):
+        with ResourceLeakSanitizer() as sanitizer:
+            sanitizer.track(Resource(env), "r").request()  # simlint: disable=SL004
+            raise RuntimeError("original")
+
+
+# -- kernel debug mode -----------------------------------------------------
+
+def test_debug_mode_counts_dispatches():
+    env = Environment(debug=True)
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(2.0)
+
+    env.process(proc(env))
+    env.run()
+    assert env.dispatch_count > 0
+
+
+def test_debug_mode_rejects_negative_schedule_delay():
+    env = Environment(debug=True)
+    ev = env.event()
+    with pytest.raises(DebugViolation, match="negative delay"):
+        env._schedule(ev, delay=-1.0)
+
+
+def test_non_debug_mode_unchanged():
+    env = Environment()
+    ev = env.event()
+    env._schedule(ev, delay=0.0)
+    env.step()
+    assert ev.processed

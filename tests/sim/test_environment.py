@@ -2,23 +2,23 @@
 
 import pytest
 
-from repro.sim import Environment, Event, StopSimulation
+from repro.sim import Environment, Event, StopSimulation, time_eq
 
 
 def test_clock_starts_at_zero():
     env = Environment()
-    assert env.now == 0.0
+    assert time_eq(env.now, 0.0)
 
 
 def test_clock_custom_initial_time():
     env = Environment(initial_time=100.0)
-    assert env.now == 100.0
+    assert time_eq(env.now, 100.0)
 
 
 def test_run_until_time_advances_clock():
     env = Environment()
     env.run(until=10)
-    assert env.now == 10
+    assert time_eq(env.now, 10)
 
 
 def test_run_until_past_time_raises():
@@ -97,7 +97,7 @@ def test_run_until_event_returns_value():
 
     result = env.run(until=env.process(proc(env)))
     assert result == "done"
-    assert env.now == 2
+    assert time_eq(env.now, 2)
 
 
 def test_run_until_untriggerable_event_raises():
