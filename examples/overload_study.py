@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Overload study: what admission control buys during a flash crowd.
+
+Drives the same Poisson flash crowd (offered load 25% above capacity)
+against a concurrency-capped FaaS platform twice with the same seed:
+
+- **raw** — no front door: the bounded queue fills, every admitted
+  request waits behind it, and the latency tail collapses;
+- **admitted** — token-bucket admission, CoDel queue-delay shedding,
+  and a brownout controller that stops paying for cold starts under
+  pressure: a quarter of the requests are turned away *immediately*, and
+  the ones that are served finish on time.
+
+The headline metric is SLO-goodput — completions within the SLO per
+second of simulated time — which shedding *raises* even though it serves
+fewer requests. Also runs the failure-detection scenario: how fast a
+phi-accrual detector suspects a silently crashed machine, and that it
+never wrongly suspects a healthy one.
+
+Run:  PYTHONPATH=src python examples/overload_study.py
+"""
+
+from repro.faults.chaos import run_detection_scenario, run_overload_scenario
+
+
+def main():
+    raw = run_overload_scenario(seed=42, admission=False)
+    admitted = run_overload_scenario(seed=42, admission=True)
+
+    headers = ["metric", "raw", "admitted"]
+    rows = [
+        ["served / offered",
+         f"{raw['completed']}/{raw['invocations']}",
+         f"{admitted['completed']}/{admitted['invocations']}"],
+        ["shed at the door", f"{raw['shed']}", f"{admitted['shed']}"],
+        ["rejected (queue full)", f"{raw['rejected']}",
+         f"{admitted['rejected']}"],
+        ["SLO-goodput", f"{raw['goodput_per_s']:.2f}/s",
+         f"{admitted['goodput_per_s']:.2f}/s"],
+        ["p50 latency", f"{raw['p50_latency_s']:.3f} s",
+         f"{admitted['p50_latency_s']:.3f} s"],
+        ["p99 latency", f"{raw['p99_latency_s']:.3f} s",
+         f"{admitted['p99_latency_s']:.3f} s"],
+        ["SLO attainment", f"{raw['slo_attainment']:.3f}",
+         f"{admitted['slo_attainment']:.3f}"],
+    ]
+    widths = [max(len(str(r[i])) for r in [headers] + rows)
+              for i in range(3)]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+    gain = admitted["goodput_per_s"] / raw["goodput_per_s"] - 1.0
+    print(f"\nShedding {admitted['shed_fraction']:.0%} of the crowd at the "
+          f"door raised useful throughput by {gain:+.0%} and cut p99 from "
+          f"{raw['p99_latency_s']:.2f}s to {admitted['p99_latency_s']:.2f}s.")
+
+    det = run_detection_scenario(seed=42, crash=True, crash_at_s=30.0)
+    print(f"\nFailure detection: machine m0 crashed silently at t=30s; "
+          f"the phi-accrual detector suspected it after "
+          f"{det['detection_latency_s']:.1f}s with "
+          f"{det['false_suspicions']} false suspicions across "
+          f"{det['heartbeats_sent']} heartbeats from 6 machines.")
+
+
+if __name__ == "__main__":
+    main()

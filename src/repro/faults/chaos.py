@@ -17,9 +17,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.cluster import Cluster, FailureInjector
 from repro.faults.models import TransientErrorModel
 from repro.faults.policies import RetryPolicy
+from repro.resilience import (
+    BrownoutController,
+    CoDelShedder,
+    HeartbeatEmitter,
+    PhiAccrualDetector,
+    TokenBucketAdmitter,
+)
 from repro.scheduling.policies import FCFSPolicy
 from repro.scheduling.simulator import ClusterSimulator
 from repro.serverless import FaaSPlatform, FunctionSpec, PlatformConfig
@@ -86,23 +95,172 @@ def run_serverless_scenario(seed: int = 0, error_rate: float = 0.0,
     }
 
 
+# -- serverless: overload vs. admission control + brownout -----------------
+
+def run_overload_scenario(seed: int = 0, admission: bool = False,
+                          n_invocations: int = 600,
+                          rate_per_s: float = 50.0,
+                          runtime_s: float = 0.2,
+                          concurrency_limit: int = 8,
+                          queue_capacity: int = 64,
+                          admit_rate_per_s: float = 36.0,
+                          admit_burst: float = 16.0,
+                          slo_s: float = 1.0) -> dict:
+    """A flash crowd against a capacity-capped FaaS platform.
+
+    Offered load (``rate_per_s``) exceeds capacity
+    (``concurrency_limit / runtime_s``). Without admission the bounded
+    queue fills, every admitted request marinates behind it, and the tail
+    collapses; with admission the token bucket sheds the excess at the
+    front door, the CoDel shedder drops requests that already waited past
+    the delay target, and the brownout controller stops paying for cold
+    starts under pressure — so the requests that *are* served finish on
+    time. Goodput here is SLO-goodput: completions within ``slo_s`` per
+    second of simulated time.
+    """
+    streams = RandomStreams(seed)
+    env = Environment()
+    admitter = shedder = brownout = None
+    if admission:
+        admitter = TokenBucketAdmitter(env, rate_per_s=admit_rate_per_s,
+                                       burst=admit_burst)
+        shedder = CoDelShedder(env, target_s=0.15, interval_s=1.0)
+        # Pressure scale (see FaaSPlatform.pressure): <1 is utilization,
+        # >1 is 1 + head-of-queue delay in seconds.
+        brownout = BrownoutController(degraded_enter=1.05,
+                                      degraded_exit=0.95,
+                                      critical_enter=1.5,
+                                      critical_exit=1.1)
+    platform = FaaSPlatform(
+        env,
+        PlatformConfig(cold_start_s=0.25, keep_alive_s=600.0,
+                       concurrency_limit=concurrency_limit,
+                       prewarmed=concurrency_limit,
+                       queue_capacity=queue_capacity),
+        admitter=admitter, shedder=shedder, brownout=brownout)
+    platform.deploy(FunctionSpec("f", runtime_s=runtime_s, memory_gb=0.5))
+    arrivals = streams.get("overload-arrivals")
+
+    def driver(env):
+        for _ in range(n_invocations):
+            yield env.timeout(float(arrivals.exponential(1.0 / rate_per_s)))
+            platform.invoke("f")
+
+    env.process(driver(env))
+    duration = n_invocations / rate_per_s + 30.0
+    env.run(until=duration)
+    if brownout is not None:
+        brownout.finish(env.now)
+    completed = platform.completed("f")
+    latencies = sorted(i.latency for i in completed)
+    in_slo = sum(1 for lat in latencies if lat <= slo_s)
+    result = {
+        "slo_attainment": platform.slo_attainment(slo_s, "f"),
+        "availability": 1.0 - platform.failure_fraction("f"),
+        "invocations": len(platform.invocations),
+        "completed": len(completed),
+        "shed": len(platform.shed("f")),
+        "rejected": sum(1 for i in platform.invocations if i.rejected),
+        "shed_fraction": platform.shed_fraction("f"),
+        "goodput_per_s": in_slo / duration,
+        "p50_latency_s": (float(np.percentile(latencies, 50))
+                          if latencies else float("inf")),
+        "p99_latency_s": (float(np.percentile(latencies, 99))
+                          if latencies else float("inf")),
+    }
+    if admission:
+        result["admitted"] = admitter.admitted
+        result["bucket_shed"] = admitter.shed
+        result["codel_shed"] = shedder.shed
+        result["brownout_transitions"] = brownout.transitions
+        result["degraded_time_s"] = brownout.degraded_time_s()
+    return result
+
+
+# -- detection: heartbeats + phi-accrual vs. a silent crash ----------------
+
+def run_detection_scenario(seed: int = 0, crash: bool = True,
+                           crash_at_s: float = 30.0,
+                           n_machines: int = 6,
+                           heartbeat_interval_s: float = 1.0,
+                           threshold: float = 8.0,
+                           duration_s: float = 90.0) -> dict:
+    """Heartbeat-monitored machines, one of which may crash silently.
+
+    Measures the two numbers every failure detector trades between: how
+    long after the crash the detector suspects the dead machine
+    (detection latency), and how often healthy machines get wrongly
+    suspected (false suspicions — zero here under bounded jitter, by the
+    phi math).
+    """
+    streams = RandomStreams(seed)
+    env = Environment()
+    detector = PhiAccrualDetector(env, threshold=threshold,
+                                  poll_interval_s=0.5)
+    up: dict[str, bool] = {f"m{i}": True for i in range(n_machines)}
+    emitters = {}
+    for name in sorted(up):
+        emitters[name] = HeartbeatEmitter(
+            env, detector, name, heartbeat_interval_s,
+            rng=streams.get(f"hb-{name}"),
+            is_up=lambda name=name: up[name])
+
+    def crasher(env):
+        yield env.timeout(crash_at_s)
+        up["m0"] = False
+
+    if crash:
+        env.process(crasher(env))
+    env.run(until=duration_s)
+    latency = (detector.detection_latency_s("m0", crash_at_s)
+               if crash else None)
+    return {
+        "suspects": detector.suspects(),
+        "detection_latency_s": latency,
+        "suspicions": detector.suspicions,
+        "false_suspicions": detector.false_suspicions,
+        "heartbeats_sent": sum(e.sent for e in emitters.values()),
+        "heartbeats_suppressed": sum(e.suppressed
+                                     for e in emitters.values()),
+    }
+
+
 # -- scheduling: machine crashes vs. requeue-and-restart -------------------
 
 def run_scheduling_scenario(seed: int = 0, mtbf_s: Optional[float] = None,
                             mttr_s: float = 60.0,
                             requeue: bool = True,
                             n_tasks: int = 120,
-                            n_machines: int = 8) -> dict:
+                            n_machines: int = 8,
+                            health_aware: bool = False,
+                            heartbeat_interval_s: float = 1.0) -> dict:
     """A bag of tasks on a crashing cluster. Without requeue, work killed
-    by a crash is lost (goodput drops); with requeue it restarts elsewhere."""
+    by a crash is lost (goodput drops); with requeue it restarts elsewhere.
+
+    With ``health_aware`` the scheduler stops reading the cluster's
+    ground-truth machine state: each machine emits heartbeats into a
+    phi-accrual detector, placement skips suspected machines and uses the
+    scheduler's own capacity books, and a dispatch that races a crash
+    before detection is lost for a dispatch timeout (a *misdispatch*).
+    """
     streams = RandomStreams(seed)
     env = Environment()
     cluster = Cluster.homogeneous("chaos", n_machines, cores=4)
     work_rng = streams.get("task-sizes")
     tasks = [Task(work=float(work_rng.uniform(20.0, 120.0)))
              for _ in range(n_tasks)]
+    detector = None
+    if health_aware:
+        detector = PhiAccrualDetector(env, threshold=8.0,
+                                      poll_interval_s=0.5)
+        for machine in cluster.machines:
+            HeartbeatEmitter(env, detector, machine.name,
+                             heartbeat_interval_s,
+                             rng=streams.get(f"hb-{machine.name}"),
+                             is_up=lambda m=machine: m.is_up)
     sim = ClusterSimulator(env, cluster, FCFSPolicy(),
-                           failure_mode="requeue" if requeue else "drop")
+                           failure_mode="requeue" if requeue else "drop",
+                           health=detector)
     injector = None
     if mtbf_s is not None:
         injector = FailureInjector(
@@ -115,7 +273,14 @@ def run_scheduling_scenario(seed: int = 0, mtbf_s: Optional[float] = None,
     env.run(until=sim._scheduler)
     metrics = sim.metrics()
     total_core_s = sim.goodput_core_s + sim.wasted_core_s
-    return {
+    extra = {}
+    if detector is not None:
+        extra = {
+            "misdispatches": sim.misdispatches,
+            "suspicions": detector.suspicions,
+            "false_suspicions": detector.false_suspicions,
+        }
+    return extra | {
         "slo_attainment": metrics.completed_fraction,
         "availability": (injector.empirical_availability()
                          if injector is not None else 1.0),

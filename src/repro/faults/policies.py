@@ -69,6 +69,11 @@ class RetryPolicy:
 
     ``retry_on`` lists the exception types considered transient; anything
     else propagates immediately (don't retry a programming error).
+
+    ``max_elapsed_s`` is a *retry budget*: if waiting out the next backoff
+    would push the total time since the first attempt past it, the policy
+    gives up and re-raises instead of sleeping — the caller's deadline
+    matters more than the attempt count.
     """
 
     max_attempts: int = 3
@@ -77,6 +82,8 @@ class RetryPolicy:
     max_delay_s: float = 30.0
     #: Relative jitter: the delay is scaled by U(1 - jitter, 1 + jitter).
     jitter: float = 0.1
+    #: Total time budget across attempts and backoffs (None = unbounded).
+    max_elapsed_s: Optional[float] = None
     retry_on: tuple = (FaultInjectedError, TimeoutExceeded)
     retries: int = 0
     exhausted: int = 0
@@ -90,6 +97,8 @@ class RetryPolicy:
             raise ValueError("multiplier must be >= 1")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if self.max_elapsed_s is not None and self.max_elapsed_s <= 0:
+            raise ValueError("max_elapsed_s must be positive")
 
     def backoff_s(self, attempt: int,
                   rng: Optional[np.random.Generator] = None) -> float:
@@ -104,6 +113,7 @@ class RetryPolicy:
              rng: Optional[np.random.Generator] = None):
         """Combinator: ``result = yield from policy.call(env, factory)``."""
         attempt = 0
+        started = env.now
         while True:
             attempt += 1
             try:
@@ -113,8 +123,15 @@ class RetryPolicy:
                 if attempt >= self.max_attempts:
                     self.exhausted += 1
                     raise
+                delay = self.backoff_s(attempt, rng)
+                if (self.max_elapsed_s is not None
+                        and env.now - started + delay > self.max_elapsed_s):
+                    # The backoff would outlive the retry budget: give up
+                    # now rather than return even later.
+                    self.exhausted += 1
+                    raise
                 self.retries += 1
-                yield env.timeout(self.backoff_s(attempt, rng))
+                yield env.timeout(delay)
 
 
 def with_timeout(env: Environment, attempt: Any, timeout_s: float,

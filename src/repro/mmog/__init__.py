@@ -23,10 +23,12 @@ from repro.mmog.dynamics import (
     simulate_population,
 )
 from repro.mmog.provisioning import (
+    BrownoutProvisioningResult,
     LastValuePredictor,
     MovingAveragePredictor,
     TrendPredictor,
     ProvisioningResult,
+    run_brownout_provisioning,
     run_provisioning,
 )
 from repro.mmog.rts import (
@@ -53,6 +55,7 @@ from repro.mmog.yardstick import YardstickReport, capacity_study, run_yardstick
 
 __all__ = [
     "AreaOfSimulation",
+    "BrownoutProvisioningResult",
     "CameoAnalytics",
     "SessionRecord",
     "YardstickReport",
@@ -82,6 +85,7 @@ __all__ = [
     "puzzle_difficulty",
     "rts_frame_cost",
     "rtsenv_sweep",
+    "run_brownout_provisioning",
     "run_provisioning",
     "simulate_population",
 ]

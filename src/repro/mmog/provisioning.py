@@ -156,6 +156,117 @@ def run_provisioning(demand: Sequence[float],
         server_hours=server_hours)
 
 
+@dataclass
+class BrownoutProvisioningResult(ProvisioningResult):
+    """Provisioning run with a brownout controller riding the fleet.
+
+    ``modes[i]`` is the :class:`~repro.resilience.ServiceMode` value at
+    step ``i``; ``effective_capacity`` is the stretched capacity after
+    shedding world-update fidelity; ``fidelity[i]`` is the fraction of
+    world updates delivered.
+    """
+
+    modes: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=int))
+    effective_capacity: np.ndarray = field(
+        default_factory=lambda: np.zeros(0))
+    fidelity: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Player-seconds turned away at the door during CRITICAL steps.
+    refused_player_time: float = 0.0
+    #: Player-seconds above even the stretched capacity outside CRITICAL.
+    unserved_effective_player_time: float = 0.0
+
+    @property
+    def mean_update_fidelity(self) -> float:
+        """Demand-weighted world-update fidelity (what players felt)."""
+        total = float(self.demand.sum())
+        if total <= 0:
+            return 1.0
+        return float((self.fidelity * self.demand).sum() / total)
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of steps spent out of NORMAL mode."""
+        if not self.modes.size:
+            return 0.0
+        return float(np.mean(self.modes > 0))
+
+
+def run_brownout_provisioning(
+        demand: Sequence[float],
+        predictor: LoadPredictor,
+        controller,
+        players_per_server: int = 100,
+        step_s: float = 300.0,
+        provisioning_delay_steps: int = 2,
+        headroom: float = 1.1,
+        min_servers: int = 1,
+        degraded_capacity_factor: float = 1.5,
+        critical_capacity_factor: float = 2.0,
+        fidelity_degraded: float = 0.6,
+        fidelity_critical: float = 0.35) -> BrownoutProvisioningResult:
+    """Prediction-driven provisioning with brownout while elasticity lags.
+
+    The elastic fleet still takes ``provisioning_delay_steps`` to grow —
+    the flash-crowd gap the paper's MMOG studies quantify. Instead of
+    degrading silently, the ``controller`` (a
+    :class:`repro.resilience.BrownoutController`) watches instantaneous
+    pressure (demand over nominal capacity) each step:
+
+    - DEGRADED: shed non-essential world updates (fidelity drops to
+      ``fidelity_degraded``), which stretches each server to
+      ``degraded_capacity_factor`` times its nominal player count;
+    - CRITICAL: minimal updates only (``fidelity_critical``), capacity
+      stretched by ``critical_capacity_factor`` — and players beyond even
+      that are *refused* at the door rather than admitted to an unplayable
+      world.
+
+    Refusing players is the last resort; the whole point of brownout is
+    how much player time the fidelity ladder saves before that.
+    """
+    if degraded_capacity_factor < 1.0 or critical_capacity_factor < 1.0:
+        raise ValueError("capacity factors must be >= 1.0")
+    if not 0.0 < fidelity_critical <= fidelity_degraded <= 1.0:
+        raise ValueError(
+            "need 0 < fidelity_critical <= fidelity_degraded <= 1")
+    base = run_provisioning(
+        demand, predictor, players_per_server=players_per_server,
+        step_s=step_s, provisioning_delay_steps=provisioning_delay_steps,
+        headroom=headroom, min_servers=min_servers)
+    n = base.demand.size
+    modes = np.zeros(n, dtype=int)
+    effective = np.zeros(n)
+    fidelity = np.ones(n)
+    refused = 0.0
+    unserved_eff = 0.0
+    for i in range(n):
+        nominal_cap = base.provisioned[i] * players_per_server
+        pressure = base.demand[i] / nominal_cap if nominal_cap > 0 else 1.0
+        mode = controller.observe(pressure, now=i * step_s)
+        modes[i] = mode.value
+        if mode.value >= 2:  # CRITICAL
+            factor, fid = critical_capacity_factor, fidelity_critical
+        elif mode.value == 1:  # DEGRADED
+            factor, fid = degraded_capacity_factor, fidelity_degraded
+        else:
+            factor, fid = 1.0, 1.0
+        effective[i] = nominal_cap * factor
+        fidelity[i] = fid
+        excess = max(0.0, float(base.demand[i]) - effective[i])
+        if mode.value >= 2:
+            refused += excess * step_s
+        else:
+            unserved_eff += excess * step_s
+    controller.finish(n * step_s)
+    return BrownoutProvisioningResult(
+        predictor=f"{base.predictor}+brownout",
+        players_per_server=players_per_server, step_s=step_s,
+        demand=base.demand, provisioned=base.provisioned,
+        server_hours=base.server_hours, modes=modes,
+        effective_capacity=effective, fidelity=fidelity,
+        refused_player_time=refused,
+        unserved_effective_player_time=unserved_eff)
+
+
 def static_provisioning(demand: Sequence[float],
                         players_per_server: int = 100,
                         step_s: float = 300.0,

@@ -1,0 +1,208 @@
+"""Failure detection: heartbeats and phi-accrual suspicion.
+
+The paper's Principle P4 makes RM&S-driven self-awareness a design
+obligation, and its companion vision names imperfect failure information a
+defining ecosystem phenomenon: real components never *know* a peer died —
+they *suspect* it, after a detection latency, with a false-positive risk.
+This module provides that imperfect knowledge as seeded sim processes:
+
+- :class:`HeartbeatEmitter` — one component's periodic "I am alive"
+  signal, jittered from a named RNG stream, silenced while the target is
+  down;
+- :class:`PhiAccrualDetector` — the phi-accrual failure detector (Hayashibara
+  et al., 2004): suspicion is a continuous scale ``phi = -log10 P(alive)``
+  derived from the observed heartbeat inter-arrival distribution, thresholded
+  into a binary suspect/trust verdict.
+
+The detector counts its own quality metrics without ground truth: a
+suspicion later cleared by a heartbeat from the same target was, by
+definition, false. Detection latency against ground truth is measured by
+the harness (:mod:`repro.faults.chaos`), which knows when it crashed what.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.sim import Environment, Monitor
+
+_SQRT2 = math.sqrt(2.0)
+
+#: Cap on phi so that an underflowing tail probability stays finite.
+PHI_MAX = 300.0
+
+
+class HeartbeatEmitter:
+    """Periodic heartbeats from one component to a detector.
+
+    Runs as a sim process: every ``interval_s`` (jittered by the named RNG
+    stream, so two emitters never phase-lock) it delivers a heartbeat to the
+    detector — unless ``is_up`` says the component is down, in which case
+    the beat is silently skipped (a crashed component cannot announce its
+    own death; the detector must infer it from the silence).
+    """
+
+    def __init__(self, env: Environment, detector: "PhiAccrualDetector",
+                 key: Any, interval_s: float,
+                 rng: Optional[np.random.Generator] = None,
+                 jitter: float = 0.1,
+                 is_up: Optional[Callable[[], bool]] = None):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.env = env
+        self.detector = detector
+        self.key = key
+        self.interval_s = interval_s
+        self.rng = rng
+        self.jitter = jitter
+        self._is_up = is_up
+        self.sent = 0
+        self.suppressed = 0
+        detector.register(key, interval_s)
+        self._proc = env.process(self._beat())
+
+    def _beat(self):
+        while True:
+            delay = self.interval_s
+            if self.rng is not None and self.jitter > 0:
+                delay *= 1.0 + self.jitter * (2.0 * float(self.rng.random())
+                                              - 1.0)
+            yield self.env.timeout(delay)
+            if self._is_up is None or self._is_up():
+                self.sent += 1
+                self.detector.heartbeat(self.key)
+            else:
+                self.suppressed += 1
+
+
+class PhiAccrualDetector:
+    """Phi-accrual failure detection over heartbeat arrivals.
+
+    For each registered key the detector keeps a sliding window of
+    heartbeat inter-arrival times; ``phi(key)`` is ``-log10`` of the
+    probability that a heartbeat is merely late (normal tail), so phi grows
+    without bound while a target stays silent. ``is_suspect`` thresholds
+    phi and records suspicion onsets; a heartbeat arriving from a suspected
+    key clears the suspicion and books it as false.
+
+    An optional poll process (``poll_interval_s``) re-evaluates every key
+    periodically so suspicion onsets are recorded with bounded latency even
+    when nobody queries the detector — and so detection latency is a
+    measurable property of the configuration, not of the caller's luck.
+    """
+
+    def __init__(self, env: Environment, threshold: float = 8.0,
+                 window: int = 32, min_std_s: float = 0.1,
+                 poll_interval_s: Optional[float] = None,
+                 monitor: Optional[Monitor] = None,
+                 name: str = "phi"):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if poll_interval_s is not None and poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        self.env = env
+        self.threshold = threshold
+        self.window = window
+        self.min_std_s = min_std_s
+        self.monitor = monitor
+        self.name = name
+        self._intervals: dict[Any, deque] = {}
+        self._last: dict[Any, float] = {}
+        #: Onset time of each currently-standing suspicion.
+        self._suspected_at: dict[Any, float] = {}
+        #: Every suspicion onset, as (key, onset_time) in onset order.
+        self.suspicion_log: list[tuple[Any, float]] = []
+        self.heartbeats = 0
+        self.suspicions = 0
+        #: Suspicions later cleared by a heartbeat (wrongly accused).
+        self.false_suspicions = 0
+        if poll_interval_s is not None:
+            env.process(self._poll(poll_interval_s))
+
+    # -- observation -------------------------------------------------------
+    def register(self, key: Any, expected_interval_s: float) -> None:
+        """Start tracking ``key``, priming the window with the expected
+        interval so phi is meaningful from the first silence onward."""
+        if expected_interval_s <= 0:
+            raise ValueError("expected_interval_s must be positive")
+        if key not in self._intervals:
+            self._intervals[key] = deque([expected_interval_s],
+                                         maxlen=self.window)
+            self._last[key] = self.env.now
+
+    def heartbeat(self, key: Any) -> None:
+        """One heartbeat from ``key`` arrived now."""
+        if key not in self._intervals:
+            raise KeyError(f"unregistered heartbeat source {key!r}")
+        now = self.env.now
+        self.heartbeats += 1
+        self._intervals[key].append(now - self._last[key])
+        self._last[key] = now
+        onset = self._suspected_at.pop(key, None)
+        if onset is not None:
+            # It spoke again: the suspicion was false.
+            self.false_suspicions += 1
+            if self.monitor is not None:
+                self.monitor.count(f"{self.name}_false_suspicions", key=key)
+
+    # -- judgment ----------------------------------------------------------
+    def phi(self, key: Any) -> float:
+        """Current suspicion level of ``key`` (0 = just heard from it)."""
+        samples = self._intervals[key]
+        elapsed = self.env.now - self._last[key]
+        mean = sum(samples) / len(samples)
+        if len(samples) > 1:
+            var = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+            std = max(math.sqrt(var), self.min_std_s)
+        else:
+            std = max(self.min_std_s, 0.1 * mean)
+        p_late = 0.5 * math.erfc((elapsed - mean) / (std * _SQRT2))
+        if p_late <= 0.0:
+            return PHI_MAX
+        return min(-math.log10(p_late), PHI_MAX)
+
+    def is_suspect(self, key: Any) -> bool:
+        """Whether ``key`` is currently suspected (recording the onset)."""
+        if key not in self._intervals:
+            return False
+        if key in self._suspected_at:
+            return True
+        if self.phi(key) >= self.threshold:
+            self._suspected_at[key] = self.env.now
+            self.suspicions += 1
+            self.suspicion_log.append((key, self.env.now))
+            if self.monitor is not None:
+                self.monitor.count(f"{self.name}_suspicions", key=key)
+            return True
+        return False
+
+    def suspected_at(self, key: Any) -> Optional[float]:
+        """Onset time of the standing suspicion of ``key``, if any."""
+        return self._suspected_at.get(key)
+
+    def suspects(self) -> list[Any]:
+        """Currently suspected keys, in suspicion-onset order."""
+        return sorted(self._suspected_at,
+                      key=lambda k: (self._suspected_at[k], str(k)))
+
+    def detection_latency_s(self, key: Any,
+                            failed_at: float) -> Optional[float]:
+        """Ground-truth helper: time from a known failure to suspicion."""
+        onset = self._suspected_at.get(key)
+        if onset is None or onset < failed_at:
+            return None
+        return onset - failed_at
+
+    def _poll(self, interval_s: float):
+        while True:
+            yield self.env.timeout(interval_s)
+            for key in sorted(self._intervals, key=str):
+                self.is_suspect(key)

@@ -48,6 +48,9 @@ class ScheduleMetrics:
     wasted_core_s: float = 0.0
     #: Task executions restarted after machine failures.
     restarts: int = 0
+    #: Dispatches lost to machines the failure detector had not yet
+    #: suspected (health-aware mode only).
+    misdispatches: int = 0
 
     def objective(self) -> float:
         """The selection objective used throughout: mean bounded slowdown."""
@@ -63,7 +66,8 @@ class ClusterSimulator:
 
     def __init__(self, env: Environment, cluster: Cluster, policy: Policy,
                  monitor: Optional[Monitor] = None,
-                 failure_mode: str = "requeue"):
+                 failure_mode: str = "requeue",
+                 health=None, dispatch_timeout_s: float = 5.0):
         if failure_mode not in ("requeue", "drop"):
             raise ValueError(
                 f"failure_mode must be 'requeue' or 'drop', got {failure_mode!r}")
@@ -71,6 +75,18 @@ class ClusterSimulator:
         self.cluster = cluster
         self.policy = policy
         self.monitor = monitor or Monitor(env)
+        #: Optional failure detector (anything with ``is_suspect(name)``,
+        #: e.g. :class:`repro.resilience.PhiAccrualDetector` keyed by
+        #: machine name). When set, the scheduler stops reading the
+        #: cluster's ground-truth machine state: it places tasks from its
+        #: own bookkeeping, skips suspected machines, and a dispatch to a
+        #: dead-but-not-yet-suspected machine is lost for
+        #: ``dispatch_timeout_s`` before being requeued (a *misdispatch*).
+        self.health = health
+        self.dispatch_timeout_s = dispatch_timeout_s
+        #: Tasks dispatched to machines that were already dead.
+        self._limbo: dict[int, tuple] = {}
+        self.misdispatches = 0
         #: What happens to tasks killed by a machine crash: "requeue"
         #: re-executes them elsewhere (fail-restart), "drop" loses them —
         #: the no-resilience baseline the chaos harness measures against.
@@ -126,7 +142,7 @@ class ClusterSimulator:
     @property
     def all_done(self) -> bool:
         return (self._done_submitting and not self.ready
-                and not self.running)
+                and not self.running and not self._limbo)
 
     def _schedule_loop(self):
         while True:
@@ -162,6 +178,36 @@ class ClusterSimulator:
                 return max(finish_est, self.env.now)
         return float("inf")
 
+    def _believed_free(self, machine: Machine) -> tuple[int, float]:
+        """Free capacity per the scheduler's own books (health-aware mode).
+
+        Sums the demands of tasks *it* placed on the machine — running or
+        in dispatch limbo — rather than reading the machine's ground-truth
+        allocations, which a crash wipes before any detector could know.
+        """
+        used_cores, used_mem = 0, 0.0
+        for task, m, _ in self.running.values():
+            if m is machine:
+                used_cores += task.cores
+                used_mem += task.memory_gb
+        for task, m in self._limbo.values():
+            if m is machine:
+                used_cores += task.cores
+                used_mem += task.memory_gb
+        return machine.cores - used_cores, machine.memory_gb - used_mem
+
+    def _first_fit(self, cores: int, memory_gb: float) -> Optional[Machine]:
+        """Placement: omniscient when no detector, believed-state with one."""
+        if self.health is None:
+            return self.cluster.first_fit(cores, memory_gb)
+        for machine in self.cluster.machines:
+            if self.health.is_suspect(machine.name):
+                continue
+            free_cores, free_mem = self._believed_free(machine)
+            if free_cores >= cores and free_mem >= memory_gb - 1e-9:
+                return machine
+        return None
+
     def _try_schedule(self) -> None:
         if self.pre_schedule is not None and self.ready:
             self.pre_schedule()
@@ -172,7 +218,7 @@ class ClusterSimulator:
                 return
             ordered = self.policy.order(self.ready, self.env.now)
             head = ordered[0]
-            machine = self.cluster.first_fit(head.cores, head.memory_gb)
+            machine = self._first_fit(head.cores, head.memory_gb)
             if machine is not None:
                 self._start(head, machine)
                 progress = True
@@ -187,7 +233,7 @@ class ClusterSimulator:
                 estimate = task.runtime_estimate or task.work
                 if estimate > window:
                     continue
-                machine = self.cluster.first_fit(task.cores, task.memory_gb)
+                machine = self._first_fit(task.cores, task.memory_gb)
                 if machine is not None:
                     self._start(task, machine)
                     progress = True
@@ -197,6 +243,15 @@ class ClusterSimulator:
 
     def _start(self, task: Task, machine: Machine) -> None:
         self.ready.remove(task)
+        if self.health is not None and not machine.is_up:
+            # The detector has not suspected this machine yet, so the
+            # scheduler believes it alive; the dispatch lands on a dead box
+            # and is simply lost until the dispatch timeout notices.
+            task.state = TaskState.RUNNING
+            self._limbo[task.task_id] = (task, machine)
+            self.monitor.record("queue_length", len(self.ready))
+            self.env.process(self._misdispatch(task))
+            return
         machine.allocate(task.cores, task.memory_gb)
         task.state = TaskState.RUNNING
         task.start_time = self.env.now
@@ -205,6 +260,17 @@ class ClusterSimulator:
         self.monitor.record("queue_length", len(self.ready))
         self._procs[task.task_id] = self.env.process(
             self._execute(task, machine))
+
+    def _misdispatch(self, task: Task):
+        """A dispatch to a dead machine times out and requeues the task."""
+        yield self.env.timeout(self.dispatch_timeout_s)
+        self._limbo.pop(task.task_id, None)
+        self.misdispatches += 1
+        self.monitor.count("misdispatches")
+        task.state = TaskState.PENDING
+        task.start_time = None
+        self.ready.append(task)
+        self._kick()
 
     def handle_machine_failure(self, machine: Machine) -> None:
         """Requeue every task running on a failed machine.
@@ -296,6 +362,7 @@ class ClusterSimulator:
             goodput_core_s=float(self.goodput_core_s),
             wasted_core_s=float(self.wasted_core_s),
             restarts=self.restarts,
+            misdispatches=self.misdispatches,
             policy=self.policy.name,
             n_tasks=len(self.finished),
             mean_wait_s=float(waits.mean()),

@@ -17,7 +17,9 @@ import numpy as np
 
 from repro.faults.models import TransientErrorModel
 from repro.faults.policies import RetryPolicy
-from repro.sim import Environment, Monitor
+from repro.resilience.admission import CoDelShedder, TokenBucketAdmitter
+from repro.resilience.brownout import BrownoutController, ServiceMode
+from repro.sim import BoundedQueue, Environment, Monitor
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,11 @@ class PlatformConfig:
     concurrency_limit: Optional[int] = None
     #: Instances kept pre-warmed per function (cold-start mitigation).
     prewarmed: int = 0
+    #: Front-door queue depth per function when the concurrency limit is
+    #: saturated. 0 keeps the historical behavior (reject immediately);
+    #: > 0 lets invocations wait for an instance, bounded — overflow is
+    #: rejected, never silently backlogged.
+    queue_capacity: int = 0
 
 
 @dataclass
@@ -63,6 +70,9 @@ class Invocation:
     finish_time: Optional[float] = None
     cold: bool = False
     rejected: bool = False
+    #: True when admission control or queue-delay shedding turned the
+    #: invocation away — a first-class outcome, not a vanished request.
+    shed: bool = False
     #: Execution attempts made (1 = no retries).
     attempts: int = 1
     #: True when every attempt hit an injected fault (invocation lost).
@@ -98,7 +108,10 @@ class FaaSPlatform:
                  config: Optional[PlatformConfig] = None,
                  fault_model: Optional[TransientErrorModel] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 retry_rng: Optional[np.random.Generator] = None):
+                 retry_rng: Optional[np.random.Generator] = None,
+                 admitter: Optional[TokenBucketAdmitter] = None,
+                 shedder: Optional[CoDelShedder] = None,
+                 brownout: Optional[BrownoutController] = None):
         self.env = env
         self.config = config or PlatformConfig()
         #: Optional per-attempt transient failure model (chaos experiments).
@@ -107,8 +120,21 @@ class FaaSPlatform:
         #: in billing (failed attempts bill too) and in tail latency.
         self.retry_policy = retry_policy
         self._retry_rng = retry_rng
+        #: Optional front-door rate limit: invocations beyond the bucket
+        #: rate are shed at ``invoke()``, before they cost anything.
+        self.admitter = admitter
+        #: Optional CoDel-style shedder applied as queued invocations are
+        #: dequeued: a request that already waited too long is shed rather
+        #: than served uselessly late.
+        self.shedder = shedder
+        #: Optional brownout controller driven by :meth:`pressure`. In
+        #: DEGRADED mode the platform sheds invocations that would pay a
+        #: cold start (capacity is precious, spend it on warm work); in
+        #: CRITICAL mode it sheds every new arrival.
+        self.brownout = brownout
         self.functions: dict[str, FunctionSpec] = {}
         self._pools: dict[str, list[_Instance]] = {}
+        self._queues: dict[str, BoundedQueue] = {}
         self._ids = count()
         self.invocations: list[Invocation] = []
         self.monitor = Monitor(env)
@@ -126,12 +152,16 @@ class FaaSPlatform:
         for _ in range(self.config.prewarmed):
             pool.append(_Instance(self.env.now))
         self._pools[spec.name] = pool
+        if self.config.queue_capacity > 0:
+            self._queues[spec.name] = BoundedQueue(
+                self.env, self.config.queue_capacity, policy="reject")
 
     def undeploy(self, name: str) -> None:
         if name not in self.functions:
             raise KeyError(name)
         del self.functions[name]
         del self._pools[name]
+        self._queues.pop(name, None)
 
     def warm_instances(self, name: str) -> int:
         now = self.env.now
@@ -140,6 +170,48 @@ class FaaSPlatform:
 
     def pool_size(self, name: str) -> int:
         return len(self._pools.get(name, ()))
+
+    # -- admission ---------------------------------------------------------
+    def busy_instances(self, name: str) -> int:
+        now = self.env.now
+        return sum(1 for inst in self._pools.get(name, ())
+                   if inst.busy_until > now)
+
+    def pressure(self, name: str) -> float:
+        """The overload signal the brownout controller watches.
+
+        Below saturation it is instance utilization in [0, 1] (against the
+        concurrency limit, or the current pool when unbounded). With a
+        standing queue it is ``1 + head queueing delay in seconds`` — past
+        saturation, *how stale* the backlog is measures how overloaded the
+        platform is, which is the signal CoDel also acts on.
+        """
+        queue = self._queues.get(name)
+        if queue is not None and len(queue):
+            return 1.0 + queue.head_delay()
+        busy = self.busy_instances(name)
+        limit = self.config.concurrency_limit
+        if limit is not None:
+            return busy / limit
+        pool = len(self._pools.get(name, ()))
+        return busy / pool if pool else 0.0
+
+    def _admit(self, name: str) -> bool:
+        """The front door: False sheds the invocation before it costs."""
+        if (self.admitter is None and self.brownout is None):
+            return True
+        if self.brownout is not None:
+            mode = self.brownout.observe(self.pressure(name), self.env.now)
+            if mode is ServiceMode.CRITICAL:
+                return False
+            if (mode is ServiceMode.DEGRADED
+                    and self.warm_instances(name) == 0):
+                # Brownout: don't pay cold starts while overloaded — spend
+                # the remaining capacity on work that can run warm.
+                return False
+        if self.admitter is not None and not self.admitter.admit():
+            return False
+        return True
 
     # -- invocation -----------------------------------------------------------
     def invoke(self, name: str):
@@ -153,6 +225,11 @@ class FaaSPlatform:
                          submit_time=self.env.now)
         self.invocations.append(inv)
         done = self.env.event()
+        if not self._admit(name):
+            inv.shed = True
+            self.monitor.count("shed", key=name)
+            done.succeed(inv)
+            return done
         self.env.process(self._execute(inv, done))
         return done
 
@@ -181,11 +258,20 @@ class FaaSPlatform:
             attempt += 1
             inv.attempts = attempt
             inst, cold = self._acquire_instance(inv.function)
-            if inst is None:
-                inv.rejected = True
-                self.monitor.count("rejections", key=inv.function)
-                done.succeed(inv)
-                return
+            while inst is None:
+                queue = self._queues.get(inv.function)
+                if queue is None or not queue.offer((inv, slot := self.env.event())):
+                    inv.rejected = True
+                    self.monitor.count("rejections", key=inv.function)
+                    done.succeed(inv)
+                    return
+                verdict = yield slot
+                if verdict == "shed":
+                    inv.shed = True
+                    self.monitor.count("shed", key=inv.function)
+                    done.succeed(inv)
+                    return
+                inst, cold = self._acquire_instance(inv.function)
             inv.cold = inv.cold or cold
             setup = self.config.cold_start_s if cold else 0.0
             # Account idle time of a reused warm instance.
@@ -199,6 +285,7 @@ class FaaSPlatform:
                 inv.start_time = self.env.now
             yield self.env.timeout(spec.runtime_s)
             inst.idle_since = self.env.now
+            self._drain(inv.function)
             # Every attempt bills, faulted or not (as on real platforms).
             billed_s = spec.runtime_s + (setup if self.config.bill_cold_start
                                          else 0.0)
@@ -221,6 +308,35 @@ class FaaSPlatform:
             yield self.env.timeout(
                 self.retry_policy.backoff_s(attempt, self._retry_rng))
 
+    def _has_room(self, name: str) -> bool:
+        """Whether an invocation could start now (warm or cold)."""
+        now = self.env.now
+        pool = self._pools[name]
+        if any(inst.busy_until <= now for inst in pool):
+            return True
+        limit = self.config.concurrency_limit
+        return limit is None or len(pool) < limit
+
+    def _drain(self, name: str) -> None:
+        """Capacity freed: wake the next queued invocation (or shed it).
+
+        Applies the CoDel shedder to each dequeued waiter — a request that
+        already waited past the delay target is shed instead of served
+        uselessly late, which is what keeps the queue from standing.
+        """
+        queue = self._queues.get(name)
+        if queue is None:
+            return
+        while len(queue):
+            if not self._has_room(name):
+                return
+            (_, slot), waited = queue.pop()
+            if self.shedder is not None and self.shedder.should_shed(waited):
+                slot.succeed("shed")
+                continue
+            slot.succeed("go")
+            return
+
     def _reaper(self):
         """Reap instances idle past the keep-alive window."""
         interval = max(self.config.keep_alive_s / 4, 1.0)
@@ -242,6 +358,8 @@ class FaaSPlatform:
                 while len(survivors) < self.config.prewarmed:
                     survivors.append(_Instance(now))
                 self._pools[name] = survivors
+                # Reaping frees concurrency-limit headroom for queued work.
+                self._drain(name)
 
     # -- accounting -----------------------------------------------------------
     def cost(self) -> float:
@@ -250,7 +368,8 @@ class FaaSPlatform:
 
     def cold_start_fraction(self, name: Optional[str] = None) -> float:
         pool = [i for i in self.invocations
-                if not i.rejected and (name is None or i.function == name)]
+                if not i.rejected and not i.shed
+                and (name is None or i.function == name)]
         if not pool:
             return 0.0
         return sum(1 for i in pool if i.cold) / len(pool)
@@ -261,19 +380,37 @@ class FaaSPlatform:
                 and (name is None or i.function == name)]
 
     def failure_fraction(self, name: Optional[str] = None) -> float:
-        """Fraction of invocations lost to faults (after any retries)."""
+        """Fraction of invocations that never produced an answer.
+
+        Counts faults (after any retries), rejections at the concurrency
+        cap, and admission-control sheds alike: to the caller they are all
+        requests that got nothing back.
+        """
         pool = [i for i in self.invocations
                 if name is None or i.function == name]
         if not pool:
             return 0.0
-        return sum(1 for i in pool if i.failed or i.rejected) / len(pool)
+        return sum(1 for i in pool
+                   if i.failed or i.rejected or i.shed) / len(pool)
+
+    def shed(self, name: Optional[str] = None) -> list[Invocation]:
+        """Invocations dropped by admission control or the queue shedder."""
+        return [i for i in self.invocations
+                if i.shed and (name is None or i.function == name)]
+
+    def shed_fraction(self, name: Optional[str] = None) -> float:
+        pool = [i for i in self.invocations
+                if name is None or i.function == name]
+        if not pool:
+            return 0.0
+        return sum(1 for i in pool if i.shed) / len(pool)
 
     def slo_attainment(self, threshold_s: float,
                        name: Optional[str] = None) -> float:
         """Fraction of invocations that completed within ``threshold_s``.
 
-        Failed and rejected invocations count as SLO misses — an answer
-        that never arrives is worse than a slow one.
+        Failed, rejected, and shed invocations count as SLO misses — an
+        answer that never arrives is worse than a slow one.
         """
         pool = [i for i in self.invocations
                 if name is None or i.function == name]

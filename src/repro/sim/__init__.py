@@ -17,6 +17,8 @@ Public surface:
 - :class:`Container` — continuous level (e.g., energy budget, tokens).
 - :class:`Store`, :class:`FilterStore`, :class:`PriorityStore` — object
   queues between processes.
+- :class:`BoundedQueue` — capacity-bounded FIFO that rejects or sheds on
+  overflow (the backpressure primitive of the resilience layer).
 - :class:`RandomStreams` — named, reproducible RNG streams.
 - :class:`Monitor`, :class:`TimeSeries`, :class:`Counter` — instrumentation.
 - :func:`time_eq` — epsilon comparison for sim timestamps (simlint SL006).
@@ -53,6 +55,7 @@ from repro.sim.environment import (
     time_eq,
 )
 from repro.sim.resources import (
+    BoundedQueue,
     Container,
     FilterStore,
     PreemptiveResource,
@@ -68,6 +71,7 @@ from repro.sim.monitor import Counter, Monitor, TimeSeries, summarize
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BoundedQueue",
     "Container",
     "Counter",
     "DebugViolation",

@@ -247,6 +247,112 @@ class Container:
                     progress = True
 
 
+class BoundedQueue:
+    """A capacity-bounded FIFO request queue with an explicit overflow policy.
+
+    Unlike :class:`Store` (whose putters *block* when full), arrivals at a
+    full BoundedQueue are never suspended: :meth:`offer` either rejects the
+    newcomer (``policy="reject"``) or sheds the oldest queued item to make
+    room (``policy="shed-oldest"``). Overflow is a visible, counted event —
+    the backpressure signal an unbounded FIFO silently swallows.
+
+    Consumers take items with the synchronous :meth:`pop` (e.g. a service
+    draining its front-door queue when capacity frees up) or the event-based
+    :meth:`get` (a dedicated consumer process); both report how long the
+    item waited, which is exactly the signal CoDel-style shedding and
+    brownout controllers feed on.
+    """
+
+    POLICIES = ("reject", "shed-oldest")
+
+    def __init__(self, env, capacity: int, policy: str = "reject",
+                 on_shed: Optional[Callable[[Any, float], None]] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}, "
+                             f"got {policy!r}")
+        self.env = env
+        self.capacity = int(capacity)
+        self.policy = policy
+        #: Called as ``on_shed(item, waited_s)`` for every shed item.
+        self.on_shed = on_shed
+        #: Queued entries as (enqueued_at, item), oldest first.
+        self._entries: list[tuple[float, Any]] = []
+        self._getters: list[Event] = []
+        self.offered = 0
+        #: Offers that entered the queue (or went straight to a getter).
+        self.accepted = 0
+        self.rejected = 0
+        #: Items dropped after acceptance (overflow or explicit shed_head).
+        self.shed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (f"<BoundedQueue {len(self._entries)}/{self.capacity} "
+                f"policy={self.policy}>")
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def head_delay(self) -> float:
+        """How long the oldest queued item has waited (0 if empty)."""
+        if not self._entries:
+            return 0.0
+        return self.env.now - self._entries[0][0]
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue ``item`` if the policy allows; False means rejected."""
+        self.offered += 1
+        if self._getters:
+            # A consumer is already waiting: hand the item straight over.
+            self.accepted += 1
+            self._getters.pop(0).succeed((item, 0.0))
+            return True
+        if self.full:
+            if self.policy == "reject":
+                self.rejected += 1
+                return False
+            oldest_at, oldest = self._entries.pop(0)
+            self.shed += 1
+            if self.on_shed is not None:
+                self.on_shed(oldest, self.env.now - oldest_at)
+        self.accepted += 1
+        self._entries.append((self.env.now, item))
+        return True
+
+    def pop(self) -> Optional[tuple[Any, float]]:
+        """Dequeue the oldest item as ``(item, waited_s)``, or None."""
+        if not self._entries:
+            return None
+        enqueued_at, item = self._entries.pop(0)
+        return item, self.env.now - enqueued_at
+
+    def shed_head(self) -> Optional[tuple[Any, float]]:
+        """Drop the oldest item as a shed (counted, ``on_shed`` fired)."""
+        popped = self.pop()
+        if popped is None:
+            return None
+        self.shed += 1
+        item, waited = popped
+        if self.on_shed is not None:
+            self.on_shed(item, waited)
+        return popped
+
+    def get(self) -> Event:
+        """Event-based take: succeeds with ``(item, waited_s)``."""
+        event = Event(self.env)
+        popped = self.pop()
+        if popped is not None:
+            event.succeed(popped)
+        else:
+            self._getters.append(event)
+        return event
+
+
 class StoreGet(Event):
     def __init__(self, store: "Store"):
         super().__init__(store.env)

@@ -12,7 +12,7 @@ from repro.faults import (
     TimeoutExceeded,
     with_timeout,
 )
-from repro.sim import Environment, RandomStreams
+from repro.sim import Environment, Interrupt, RandomStreams
 
 
 class TestRetryPolicy:
@@ -264,3 +264,191 @@ class TestHedge:
     def test_validation(self):
         with pytest.raises(ValueError):
             Hedge(delay_s=0.0)
+
+
+class TestRetryBudget:
+    def test_budget_stops_retrying_before_backoff_outlives_it(self):
+        env = Environment()
+        calls = {"n": 0}
+
+        def attempt():
+            calls["n"] += 1
+            yield env.timeout(1.0)
+            raise FaultInjectedError("always")
+
+        def proc(env):
+            # Attempts cost 1s; backoffs 1s, 2s, 4s... With a 4s budget
+            # the second backoff (elapsed 3s + 2s delay = 5s) is refused.
+            policy = RetryPolicy(max_attempts=10, base_delay_s=1.0,
+                                 multiplier=2.0, jitter=0.0,
+                                 max_elapsed_s=4.0)
+            try:
+                yield from policy.call(env, attempt)
+            finally:
+                assert policy.exhausted == 1
+
+        env.process(proc(env))
+        with pytest.raises(FaultInjectedError):
+            env.run()
+        assert calls["n"] == 2
+        assert env.now == 3.0  # gave up instead of sleeping past budget
+
+    def test_budget_allows_retries_that_fit(self):
+        env = Environment()
+        state = {"fails_left": 2}
+        result = {}
+
+        def attempt():
+            yield env.timeout(1.0)
+            if state["fails_left"] > 0:
+                state["fails_left"] -= 1
+                raise FaultInjectedError("flaky")
+            return "ok"
+
+        def proc(env):
+            policy = RetryPolicy(max_attempts=5, base_delay_s=1.0,
+                                 multiplier=2.0, jitter=0.0,
+                                 max_elapsed_s=60.0)
+            result["value"] = yield from policy.call(env, attempt)
+            result["retries"] = policy.retries
+
+        env.process(proc(env))
+        env.run()
+        assert result == {"value": "ok", "retries": 2}
+
+    def test_unbounded_budget_is_default(self):
+        assert RetryPolicy().max_elapsed_s is None
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed_s=-1.0)
+
+
+class TestHalfOpenProbes:
+    def test_half_open_admits_limited_concurrent_probes(self):
+        env = Environment()
+        breaker = CircuitBreaker(env, failure_threshold=1, cooldown_s=5.0,
+                                 half_open_max=1)
+        outcomes = {}
+
+        def failing():
+            yield env.timeout(0.5)
+            raise FaultInjectedError("down")
+
+        def slow_ok():
+            yield env.timeout(2.0)
+            return "recovered"
+
+        def tripper(env):
+            try:
+                yield from breaker.call(failing)
+            except FaultInjectedError:
+                pass
+
+        def probe(env, tag, start):
+            yield env.timeout(start)
+            try:
+                outcomes[tag] = yield from breaker.call(slow_ok)
+            except CircuitOpenError:
+                outcomes[tag] = "rejected"
+
+        env.process(tripper(env))
+        # Both arrive during HALF_OPEN, while probe one is still in flight.
+        env.process(probe(env, "first", 6.0))
+        env.process(probe(env, "second", 6.5))
+        env.run()
+        # Only one concurrent probe allowed; the second is rejected even
+        # though the breaker is HALF_OPEN, not OPEN.
+        assert outcomes == {"first": "recovered", "second": "rejected"}
+        assert breaker.rejections == 1
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_max_two_admits_two(self):
+        env = Environment()
+        breaker = CircuitBreaker(env, failure_threshold=1, cooldown_s=5.0,
+                                 half_open_max=2)
+
+        def failing():
+            yield env.timeout(0.5)
+            raise FaultInjectedError("down")
+
+        def proc(env):
+            try:
+                yield from breaker.call(failing)
+            except FaultInjectedError:
+                pass
+            yield env.timeout(5.0)
+            assert breaker.state is BreakerState.HALF_OPEN
+            assert breaker.allow()
+            assert breaker.allow()
+            assert not breaker.allow()
+
+        env.process(proc(env))
+        env.run()
+
+
+class TestHedgeCancellation:
+    def test_losers_are_cancelled_not_leaked(self):
+        env = Environment()
+        running = {"n": 0}
+        interrupted = []
+
+        def attempt():
+            durations = [30.0, 20.0, 1.0]
+            d = durations[min(running["n"], 2)]
+            running["n"] += 1
+            tag = running["n"]
+            try:
+                yield env.timeout(d)
+                return tag
+            except Interrupt as intr:
+                interrupted.append((tag, str(intr.cause), env.now))
+                raise
+
+        def proc(env):
+            hedge = Hedge(delay_s=2.0, max_hedges=2)
+            value = yield from hedge.run(env, attempt)
+            assert value == 3  # the third (fastest) attempt wins
+            assert hedge.hedge_wins == 1
+            assert hedge.launched == 3
+
+        env.process(proc(env))
+        env.run(until=10.0)
+        # Both stragglers were interrupted the moment the winner finished
+        # (t = 2 + 2 + 1 = 5), not left running to completion.
+        assert sorted(interrupted) == [(1, "hedge-won", 5.0),
+                                       (2, "hedge-won", 5.0)]
+        assert env.now == 10.0
+
+    def test_loser_failure_after_loss_does_not_crash_run(self):
+        env = Environment()
+
+        def fast_then_fail():
+            order = {"n": 0}
+
+            def factory():
+                order["n"] += 1
+                if order["n"] == 1:
+                    return slow_failure()
+                return quick_win()
+            return factory
+
+        def slow_failure():
+            yield env.timeout(5.0)
+            raise FaultInjectedError("too late anyway")
+
+        def quick_win():
+            yield env.timeout(0.5)
+            return "ok"
+
+        def proc(env):
+            hedge = Hedge(delay_s=1.0)
+            value = yield from hedge.run(env, fast_then_fail())
+            assert value == "ok"
+
+        env.process(proc(env))
+        # Run past the loser's failure time: the defused failure of the
+        # abandoned primary must not crash the simulation.
+        env.run(until=20.0)

@@ -1,0 +1,114 @@
+"""Brownout-aware MMOG provisioning: degrade fidelity before refusing."""
+
+import numpy as np
+import pytest
+
+from repro.mmog import (
+    BrownoutProvisioningResult,
+    LastValuePredictor,
+    run_brownout_provisioning,
+    run_provisioning,
+)
+from repro.resilience import BrownoutController, ServiceMode
+
+
+def flash_crowd(n=48, base=200.0, peak=2000.0, at=20, width=6):
+    """A flat demand signal with a sudden spike (the [71] phenomenology)."""
+    demand = np.full(n, base)
+    demand[at:at + width] = peak
+    return demand
+
+
+def make_controller():
+    return BrownoutController(degraded_enter=0.8, degraded_exit=0.6,
+                              critical_enter=1.2, critical_exit=0.8)
+
+
+def test_steady_demand_stays_normal():
+    demand = np.full(24, 300.0)
+    # min_servers pre-sizes the fleet so the elasticity warm-up does not
+    # register as overload.
+    result = run_brownout_provisioning(
+        demand, LastValuePredictor(), make_controller(),
+        players_per_server=100, provisioning_delay_steps=2, headroom=1.2,
+        min_servers=4)
+    assert isinstance(result, BrownoutProvisioningResult)
+    assert result.degraded_fraction == 0.0
+    assert (result.fidelity == 1.0).all()
+    assert result.refused_player_time == 0.0
+
+
+def test_flash_crowd_browns_out_before_refusing():
+    demand = flash_crowd()
+    controller = make_controller()
+    result = run_brownout_provisioning(
+        demand, LastValuePredictor(), controller,
+        players_per_server=100, provisioning_delay_steps=3)
+    # The elasticity gap forces degradation during the spike...
+    assert result.degraded_fraction > 0.0
+    assert controller.degraded_time_s() > 0.0
+    assert result.mean_update_fidelity < 1.0
+    # ...and the stretched capacity exceeds nominal during those steps.
+    degraded = result.modes >= ServiceMode.DEGRADED.value
+    assert (result.effective_capacity[degraded]
+            > result.capacity[degraded]).all()
+    # Fidelity tracks the mode ladder exactly.
+    assert (result.fidelity[result.modes == 0] == 1.0).all()
+
+
+def test_brownout_strictly_reduces_unserved_player_time():
+    """The payoff: stretching capacity serves player-time the plain
+    policy drops."""
+    demand = flash_crowd()
+    plain = run_provisioning(demand, LastValuePredictor(),
+                             players_per_server=100,
+                             provisioning_delay_steps=3)
+    browned = run_brownout_provisioning(
+        demand, LastValuePredictor(), make_controller(),
+        players_per_server=100, provisioning_delay_steps=3)
+    assert plain.unserved_player_time > 0.0
+    lost = (browned.refused_player_time
+            + browned.unserved_effective_player_time)
+    assert lost < plain.unserved_player_time
+    # Same fleet, same bill: brownout sheds fidelity, not servers.
+    assert browned.server_hours == plain.server_hours
+    assert (browned.provisioned == plain.provisioned).all()
+
+
+def test_refusals_only_in_critical():
+    demand = flash_crowd(peak=5000.0)
+    result = run_brownout_provisioning(
+        demand, LastValuePredictor(), make_controller(),
+        players_per_server=100, provisioning_delay_steps=3,
+        critical_capacity_factor=1.5)
+    critical = result.modes == ServiceMode.CRITICAL.value
+    assert critical.any()
+    assert result.refused_player_time > 0.0
+    # Excess during non-critical steps is degraded service, not refusal.
+    noncritical_excess = np.maximum(
+        result.demand - result.effective_capacity, 0.0)[~critical]
+    expected = float(noncritical_excess.sum() * result.step_s)
+    assert result.unserved_effective_player_time == pytest.approx(expected)
+
+
+def test_deterministic_given_same_inputs():
+    demand = flash_crowd()
+    a = run_brownout_provisioning(demand, LastValuePredictor(),
+                                  make_controller())
+    b = run_brownout_provisioning(demand, LastValuePredictor(),
+                                  make_controller())
+    assert (a.modes == b.modes).all()
+    assert a.refused_player_time == b.refused_player_time
+
+
+def test_parameter_validation():
+    demand = flash_crowd()
+    with pytest.raises(ValueError):
+        run_brownout_provisioning(demand, LastValuePredictor(),
+                                  make_controller(),
+                                  degraded_capacity_factor=0.9)
+    with pytest.raises(ValueError):
+        run_brownout_provisioning(demand, LastValuePredictor(),
+                                  make_controller(),
+                                  fidelity_degraded=0.5,
+                                  fidelity_critical=0.6)

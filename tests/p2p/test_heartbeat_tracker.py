@@ -1,0 +1,106 @@
+"""Heartbeat-based tracker liveness (believed state, not ground truth)."""
+
+import pytest
+
+from repro.p2p import (
+    HeartbeatTracker,
+    PEER_CLASSES,
+    Peer,
+    reannounce_process,
+)
+from repro.sim import Environment, RandomStreams
+
+
+def make_peer(**kwargs):
+    return Peer(peer_class=PEER_CLASSES["adsl"], arrival_time=0.0, **kwargs)
+
+
+def test_announce_registers_and_returns_believed_live():
+    env = Environment()
+    tracker = HeartbeatTracker("hb", env, liveness_timeout_s=10.0)
+    a, b = make_peer(), make_peer()
+
+    def scenario(env):
+        assert tracker.announce("t1", a) == []
+        assert tracker.announce("t1", b) == [a]
+        assert tracker.believed_live("t1", a.peer_id)
+        yield env.timeout(0)
+
+    env.process(scenario(env))
+    env.run()
+
+
+def test_crashed_peer_lingers_until_timeout():
+    """The stale-entry window: the price of not being omniscient."""
+    env = Environment()
+    tracker = HeartbeatTracker("hb", env, liveness_timeout_s=10.0)
+    ghost, live = make_peer(), make_peer()
+
+    def scenario(env):
+        tracker.announce("t1", ghost)
+        # ghost crashes impolitely (no depart) right away.
+        ghost.departed_at = env.now
+        yield env.timeout(5.0)
+        # Within the timeout the tracker still hands the ghost out,
+        # even though ground truth (.active) knows it is gone.
+        assert not ghost.active
+        assert ghost in tracker.announce("t1", live)
+        assert tracker.scrape("t1", env.now).swarm_size == 2
+        yield env.timeout(6.0)
+        # Past the timeout: believed dead, GC'd at scrape; the peer that
+        # announced more recently is still counted.
+        assert not tracker.believed_live("t1", ghost.peer_id)
+        stats = tracker.scrape("t1", env.now)
+        assert stats.swarm_size == 1
+        assert tracker.expired == 1
+
+    env.process(scenario(env))
+    env.run()
+
+
+def test_polite_depart_removes_immediately():
+    env = Environment()
+    tracker = HeartbeatTracker("hb", env, liveness_timeout_s=100.0)
+    a, b = make_peer(), make_peer()
+    tracker.announce("t1", a)
+    tracker.announce("t1", b)
+    tracker.depart("t1", a)
+    assert not tracker.believed_live("t1", a.peer_id)
+    assert tracker.scrape("t1", 0.0).swarm_size == 1
+
+
+def test_reannounce_keeps_peer_believed_live():
+    env = Environment()
+    streams = RandomStreams(11)
+    tracker = HeartbeatTracker("hb", env, liveness_timeout_s=30.0)
+    peer = make_peer()
+    env.process(reannounce_process(env, tracker, "t1", peer, 10.0,
+                                   rng=streams.get("announce")))
+
+    def checker(env):
+        yield env.timeout(100.0)
+        assert tracker.believed_live("t1", peer.peer_id)
+        # Now it crashes impolitely; the loop stops heartbeating.
+        peer.departed_at = env.now
+        yield env.timeout(45.0)
+        assert not tracker.believed_live("t1", peer.peer_id)
+
+    env.process(checker(env))
+    env.run(until=200.0)
+    assert tracker.announce_count > 5
+
+
+def test_scrape_counts_seeders_and_leechers():
+    env = Environment()
+    tracker = HeartbeatTracker("hb", env, liveness_timeout_s=100.0)
+    seed, leech = make_peer(is_seed=True), make_peer()
+    tracker.announce("t1", seed)
+    tracker.announce("t1", leech)
+    stats = tracker.scrape("t1", 0.0)
+    assert (stats.seeders, stats.leechers) == (1, 1)
+
+
+def test_timeout_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        HeartbeatTracker("hb", env, liveness_timeout_s=0.0)

@@ -1,0 +1,151 @@
+"""Token-bucket admission and CoDel-style shedding."""
+
+import pytest
+
+from repro.resilience import CoDelShedder, TokenBucketAdmitter
+from repro.sim import Environment
+
+
+def test_bucket_burst_then_shed():
+    env = Environment()
+    adm = TokenBucketAdmitter(env, rate_per_s=1.0, burst=3.0)
+    assert [adm.admit() for _ in range(4)] == [True, True, True, False]
+    assert adm.admitted == 3
+    assert adm.shed == 1
+    assert adm.shed_rate == pytest.approx(0.25)
+
+
+def test_bucket_refills_with_time():
+    env = Environment()
+    adm = TokenBucketAdmitter(env, rate_per_s=2.0, burst=2.0)
+    assert adm.admit() and adm.admit()
+    assert not adm.admit()
+
+    def later(env):
+        yield env.timeout(1.0)  # 2 tokens refilled
+        assert adm.admit()
+        assert adm.admit()
+        assert not adm.admit()
+
+    env.process(later(env))
+    env.run()
+
+
+def test_bucket_caps_at_burst():
+    env = Environment()
+    adm = TokenBucketAdmitter(env, rate_per_s=100.0, burst=2.0)
+
+    def later(env):
+        yield env.timeout(10.0)
+        assert adm.tokens == pytest.approx(2.0)
+
+    env.process(later(env))
+    env.run()
+
+
+def test_bucket_sustained_rate():
+    """Over a long run the admitted rate converges to rate_per_s."""
+    env = Environment()
+    adm = TokenBucketAdmitter(env, rate_per_s=5.0, burst=1.0)
+
+    def offered(env):
+        while env.now < 100.0:
+            adm.admit()
+            yield env.timeout(0.05)  # offered at 20/s
+
+    env.process(offered(env))
+    env.run(until=100.0)
+    assert adm.admitted == pytest.approx(5.0 * 100.0, rel=0.05)
+
+
+def test_bucket_cost_and_validation():
+    env = Environment()
+    adm = TokenBucketAdmitter(env, rate_per_s=1.0, burst=4.0)
+    assert adm.admit(cost=4.0)
+    assert not adm.admit(cost=1.0)
+    with pytest.raises(ValueError):
+        adm.admit(cost=0.0)
+    with pytest.raises(ValueError):
+        TokenBucketAdmitter(env, rate_per_s=0.0)
+    with pytest.raises(ValueError):
+        TokenBucketAdmitter(env, rate_per_s=1.0, burst=0.5)
+
+
+def test_codel_below_target_never_sheds():
+    env = Environment()
+    codel = CoDelShedder(env, target_s=0.1, interval_s=1.0)
+
+    def run(env):
+        for _ in range(50):
+            assert not codel.should_shed(0.01)
+            yield env.timeout(0.1)
+
+    env.process(run(env))
+    env.run()
+    assert codel.shed == 0
+    assert not codel.dropping
+
+
+def test_codel_short_burst_passes():
+    """Above target but shorter than one interval: nothing shed."""
+    env = Environment()
+    codel = CoDelShedder(env, target_s=0.1, interval_s=1.0)
+
+    def run(env):
+        for _ in range(5):
+            assert not codel.should_shed(0.5)  # above target...
+            yield env.timeout(0.1)  # ...but only for 0.5s total
+        assert not codel.should_shed(0.01)  # dip resets the state
+
+    env.process(run(env))
+    env.run()
+    assert codel.shed == 0
+
+
+def test_codel_standing_queue_triggers_and_ramps():
+    env = Environment()
+    codel = CoDelShedder(env, target_s=0.1, interval_s=1.0)
+    decisions = []
+
+    def run(env):
+        # Delay stays above target for 5 s, evaluated every 100 ms.
+        for _ in range(50):
+            decisions.append(codel.should_shed(0.5))
+            yield env.timeout(0.1)
+
+    env.process(run(env))
+    env.run()
+    assert codel.dropping
+    assert codel.shed >= 3
+    # First interval's worth of evaluations all passed.
+    assert not any(decisions[:10])
+    # Drop spacing shrinks: interval/sqrt(n) — later drops come faster.
+    drop_times = [i * 0.1 for i, d in enumerate(decisions) if d]
+    gaps = [b - a for a, b in zip(drop_times, drop_times[1:])]
+    assert gaps == sorted(gaps, reverse=True)
+
+
+def test_codel_recovery_resets():
+    env = Environment()
+    codel = CoDelShedder(env, target_s=0.1, interval_s=0.5)
+
+    def run(env):
+        for _ in range(20):
+            codel.should_shed(0.5)
+            yield env.timeout(0.1)
+        assert codel.dropping
+        assert not codel.should_shed(0.01)  # queue drained
+        assert not codel.dropping
+        # Back above target: must sustain a full interval again.
+        assert not codel.should_shed(0.5)
+
+    env.process(run(env))
+    env.run()
+
+
+def test_codel_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CoDelShedder(env, target_s=0.0)
+    with pytest.raises(ValueError):
+        CoDelShedder(env, interval_s=0.0)

@@ -1,0 +1,91 @@
+"""Brownout mode machine: hysteresis, hooks, time accounting."""
+
+import pytest
+
+from repro.resilience import BrownoutController, ServiceMode
+
+
+def test_modes_are_ordered():
+    assert ServiceMode.NORMAL < ServiceMode.DEGRADED < ServiceMode.CRITICAL
+
+
+def test_escalation_and_recovery_ladder():
+    c = BrownoutController(degraded_enter=0.8, degraded_exit=0.6,
+                           critical_enter=0.95, critical_exit=0.8)
+    assert c.observe(0.5, 1.0) is ServiceMode.NORMAL
+    assert c.observe(0.85, 2.0) is ServiceMode.DEGRADED
+    assert c.observe(0.97, 3.0) is ServiceMode.CRITICAL
+    # Recovery goes down the ladder, not straight to NORMAL.
+    assert c.observe(0.7, 4.0) is ServiceMode.DEGRADED
+    assert c.observe(0.5, 5.0) is ServiceMode.NORMAL
+    assert c.transitions == 4
+
+
+def test_normal_jumps_straight_to_critical():
+    c = BrownoutController()
+    assert c.observe(0.99, 1.0) is ServiceMode.CRITICAL
+
+
+def test_critical_can_recover_straight_to_normal():
+    c = BrownoutController(degraded_enter=0.8, degraded_exit=0.6,
+                           critical_enter=0.95, critical_exit=0.8)
+    c.observe(0.99, 1.0)
+    assert c.observe(0.1, 2.0) is ServiceMode.NORMAL
+
+
+def test_hysteresis_no_flapping_at_threshold():
+    c = BrownoutController(degraded_enter=0.8, degraded_exit=0.6)
+    c.observe(0.85, 1.0)
+    # Hovering between exit and enter: stays DEGRADED either side of 0.8.
+    assert c.observe(0.79, 2.0) is ServiceMode.DEGRADED
+    assert c.observe(0.81, 3.0) is ServiceMode.DEGRADED
+    assert c.observe(0.61, 4.0) is ServiceMode.DEGRADED
+    assert c.transitions == 1
+
+
+def test_time_in_mode_accounting():
+    c = BrownoutController()
+    c.observe(0.0, 10.0)   # NORMAL for [0, 10)
+    c.observe(0.9, 10.0)   # -> DEGRADED at 10
+    c.observe(0.9, 25.0)   # DEGRADED for [10, 25)
+    c.observe(0.99, 25.0)  # -> CRITICAL at 25
+    c.finish(30.0)
+    assert c.time_in(ServiceMode.NORMAL) == pytest.approx(10.0)
+    assert c.time_in(ServiceMode.DEGRADED) == pytest.approx(15.0)
+    assert c.time_in(ServiceMode.CRITICAL) == pytest.approx(5.0)
+    assert c.degraded_time_s() == pytest.approx(20.0)
+
+
+def test_hooks_fire_on_entry():
+    c = BrownoutController()
+    entered = []
+    c.register_hook(ServiceMode.DEGRADED,
+                    lambda old, new, now: entered.append((old, new, now)))
+    c.register_hook(ServiceMode.NORMAL,
+                    lambda old, new, now: entered.append((old, new, now)))
+    c.observe(0.9, 1.0)
+    c.observe(0.9, 2.0)  # still DEGRADED: hook must not re-fire
+    c.observe(0.1, 3.0)
+    assert entered == [
+        (ServiceMode.NORMAL, ServiceMode.DEGRADED, 1.0),
+        (ServiceMode.DEGRADED, ServiceMode.NORMAL, 3.0),
+    ]
+
+
+def test_time_must_be_monotone():
+    c = BrownoutController()
+    c.observe(0.5, 5.0)
+    with pytest.raises(ValueError):
+        c.observe(0.5, 4.0)
+    with pytest.raises(ValueError):
+        c.finish(1.0)
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        BrownoutController(degraded_enter=0.6, degraded_exit=0.6)
+    with pytest.raises(ValueError):
+        BrownoutController(critical_enter=0.9, critical_exit=0.9)
+    with pytest.raises(ValueError):
+        BrownoutController(degraded_enter=0.97, degraded_exit=0.5,
+                           critical_enter=0.95, critical_exit=0.8)

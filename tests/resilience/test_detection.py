@@ -1,0 +1,150 @@
+"""Heartbeats and phi-accrual failure detection."""
+
+import pytest
+
+from repro.resilience import PHI_MAX, HeartbeatEmitter, PhiAccrualDetector
+from repro.sim import Environment, RandomStreams
+
+
+def test_register_and_phi_starts_low():
+    env = Environment()
+    det = PhiAccrualDetector(env)
+    det.register("a", 1.0)
+    assert det.phi("a") == 0.0 or det.phi("a") < det.threshold
+    assert not det.is_suspect("a")
+
+
+def test_register_rejects_bad_interval():
+    env = Environment()
+    det = PhiAccrualDetector(env)
+    with pytest.raises(ValueError):
+        det.register("a", 0.0)
+
+
+def test_unregistered_heartbeat_raises():
+    env = Environment()
+    det = PhiAccrualDetector(env)
+    with pytest.raises(KeyError):
+        det.heartbeat("ghost")
+
+
+def test_phi_grows_with_silence():
+    env = Environment()
+    det = PhiAccrualDetector(env, min_std_s=0.1)
+    det.register("a", 1.0)
+
+    def probe(env):
+        yield env.timeout(1.0)
+        low = det.phi("a")
+        yield env.timeout(9.0)
+        high = det.phi("a")
+        assert high > low
+        assert high <= PHI_MAX
+
+    env.process(probe(env))
+    env.run()
+
+
+def test_silent_component_becomes_suspect_and_heartbeat_clears():
+    env = Environment()
+    det = PhiAccrualDetector(env, threshold=8.0)
+    det.register("a", 1.0)
+
+    def scenario(env):
+        # Regular heartbeats: never suspected.
+        for _ in range(10):
+            yield env.timeout(1.0)
+            det.heartbeat("a")
+            assert not det.is_suspect("a")
+        # Then silence: suspicion must arise.
+        yield env.timeout(30.0)
+        assert det.is_suspect("a")
+        assert det.suspected_at("a") is not None
+        assert det.suspects() == ["a"]
+        # It speaks again: cleared, and booked as false.
+        det.heartbeat("a")
+        assert not det.is_suspect("a")
+        assert det.false_suspicions == 1
+
+    env.process(scenario(env))
+    env.run()
+    assert det.suspicions == 1
+    assert det.suspicion_log and det.suspicion_log[0][0] == "a"
+
+
+def test_poll_records_onset_without_queries():
+    env = Environment()
+    det = PhiAccrualDetector(env, threshold=8.0, poll_interval_s=0.5)
+    det.register("a", 1.0)
+    env.run(until=60.0)
+    # Nobody ever called is_suspect; the poller recorded the onset.
+    assert det.suspected_at("a") is not None
+
+
+def test_detection_latency_requires_onset_after_failure():
+    env = Environment()
+    det = PhiAccrualDetector(env, threshold=8.0, poll_interval_s=0.5)
+    det.register("a", 1.0)
+    env.run(until=60.0)
+    assert det.detection_latency_s("a", failed_at=0.0) is not None
+    # An onset before the claimed failure time is not a detection of it.
+    assert det.detection_latency_s("a", failed_at=59.0) is None
+    assert det.detection_latency_s("never-registered", 0.0) is None
+
+
+def test_emitter_feeds_detector_and_suppresses_when_down():
+    env = Environment()
+    streams = RandomStreams(7)
+    det = PhiAccrualDetector(env)
+    up = {"a": True}
+    emitter = HeartbeatEmitter(env, det, "a", 1.0,
+                               rng=streams.get("hb-a"),
+                               is_up=lambda: up["a"])
+
+    def crash(env):
+        yield env.timeout(10.0)
+        up["a"] = False
+
+    env.process(crash(env))
+    env.run(until=20.0)
+    assert emitter.sent > 0
+    assert emitter.suppressed > 0
+    assert det.heartbeats == emitter.sent
+
+
+def test_emitter_without_rng_is_unjittered():
+    env = Environment()
+    det = PhiAccrualDetector(env)
+    emitter = HeartbeatEmitter(env, det, "a", 2.0)
+    env.run(until=10.0)
+    assert emitter.sent == 4  # beats at 2, 4, 6, 8 (10.0 not reached)
+
+
+def test_fault_free_emitters_never_suspected_across_seeds():
+    """The acceptance property: bounded jitter, zero false suspicions."""
+    for seed in (0, 1, 2):
+        env = Environment()
+        streams = RandomStreams(seed)
+        det = PhiAccrualDetector(env, threshold=8.0, poll_interval_s=0.5)
+        for i in range(5):
+            HeartbeatEmitter(env, det, f"m{i}", 1.0,
+                             rng=streams.get(f"hb-m{i}"))
+        env.run(until=120.0)
+        assert det.suspicions == 0, f"seed {seed}"
+        assert det.false_suspicions == 0, f"seed {seed}"
+        assert det.suspects() == []
+
+
+def test_validation_errors():
+    env = Environment()
+    with pytest.raises(ValueError):
+        PhiAccrualDetector(env, threshold=0.0)
+    with pytest.raises(ValueError):
+        PhiAccrualDetector(env, window=0)
+    with pytest.raises(ValueError):
+        PhiAccrualDetector(env, poll_interval_s=0.0)
+    det = PhiAccrualDetector(env)
+    with pytest.raises(ValueError):
+        HeartbeatEmitter(env, det, "a", 0.0)
+    with pytest.raises(ValueError):
+        HeartbeatEmitter(env, det, "a", 1.0, jitter=1.0)

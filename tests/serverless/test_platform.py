@@ -167,3 +167,128 @@ class TestBilling:
         customer = platform.billed_gb_s
         assert customer == pytest.approx(2 * 0.2 * 0.5)
         assert platform.idle_gb_s > 0  # the provider's keep-alive burn
+
+
+class TestBoundedQueueing:
+    def test_queue_holds_overflow_until_capacity_frees(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=0.0,
+                                 concurrency_limit=2, queue_capacity=4)
+        outcomes = []
+
+        def scenario(env, platform):
+            events = [platform.invoke("f") for _ in range(4)]
+            for ev in events:
+                inv = yield ev
+                outcomes.append(inv)
+
+        env.run(until=env.process(scenario(env, platform)))
+        # With a queue, nothing is rejected: the two overflow invocations
+        # wait for instances instead.
+        assert all(not i.rejected and not i.shed for i in outcomes)
+        assert len(platform.completed("f")) == 4
+        waits = sorted(i.start_time - i.submit_time for i in outcomes)
+        assert waits[:2] == [0.0, 0.0]
+        assert all(w > 0 for w in waits[2:])
+
+    def test_queue_overflow_is_rejected_not_unbounded(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=0.0,
+                                 concurrency_limit=1, queue_capacity=2)
+
+        def scenario(env, platform):
+            events = [platform.invoke("f") for _ in range(5)]
+            invs = []
+            for ev in events:
+                invs.append((yield ev))
+            return invs
+
+        invs = env.run(until=env.process(scenario(env, platform)))
+        rejected = [i for i in invs if i.rejected]
+        assert len(rejected) == 2  # 1 running + 2 queued + 2 overflow
+        assert len(platform.completed("f")) == 3
+
+    def test_zero_capacity_keeps_historical_reject(self):
+        env = Environment()
+        platform = make_platform(env, cold_start_s=0.5, concurrency_limit=2)
+        assert platform.pressure("f") == 0.0
+
+        def scenario(env, platform):
+            events = [platform.invoke("f") for _ in range(3)]
+            invs = []
+            for ev in events:
+                invs.append((yield ev))
+            return invs
+
+        invs = env.run(until=env.process(scenario(env, platform)))
+        assert sum(1 for i in invs if i.rejected) == 1
+
+
+class TestShedAccounting:
+    def _platform_with_admitter(self, env, rate_per_s=1.0, burst=2.0):
+        from repro.resilience import TokenBucketAdmitter
+        platform = FaaSPlatform(
+            env, PlatformConfig(cold_start_s=0.0),
+            admitter=TokenBucketAdmitter(env, rate_per_s=rate_per_s,
+                                         burst=burst))
+        platform.deploy(FunctionSpec("f", runtime_s=0.2, memory_gb=0.5))
+        return platform
+
+    def test_shed_invocations_resolve_immediately_and_count(self):
+        env = Environment()
+        platform = self._platform_with_admitter(env, burst=2.0)
+
+        def scenario(env, platform):
+            invs = []
+            for _ in range(4):  # all at t=0: 2 admitted, 2 shed
+                invs.append((yield platform.invoke("f")))
+            return invs
+
+        invs = env.run(until=env.process(scenario(env, platform)))
+        shed = [i for i in invs if i.shed]
+        assert len(shed) == 2
+        # A shed invocation resolves instantly, was never started, and
+        # costs nothing.
+        assert all(i.start_time is None and i.finish_time is None
+                   for i in shed)
+        assert platform.shed("f") == shed
+        assert platform.shed_fraction("f") == pytest.approx(0.5)
+        assert platform.monitor.counters["shed"].total == 2
+
+    def test_sheds_count_against_availability_and_slo(self):
+        env = Environment()
+        platform = self._platform_with_admitter(env, burst=2.0)
+
+        def scenario(env, platform):
+            for _ in range(4):
+                yield platform.invoke("f")
+
+        env.run(until=env.process(scenario(env, platform)))
+        assert platform.failure_fraction("f") == pytest.approx(0.5)
+        assert platform.slo_attainment(10.0, "f") == pytest.approx(0.5)
+        # Sheds never ran, so they can't skew the cold-start ratio.
+        assert platform.cold_start_fraction("f") == pytest.approx(0.5)
+
+    def test_brownout_critical_sheds_everything(self):
+        from repro.resilience import BrownoutController, ServiceMode
+        env = Environment()
+        controller = BrownoutController(degraded_enter=0.5,
+                                        degraded_exit=0.4,
+                                        critical_enter=0.9,
+                                        critical_exit=0.5)
+        platform = FaaSPlatform(
+            env, PlatformConfig(cold_start_s=0.0, concurrency_limit=1),
+            brownout=controller)
+        platform.deploy(FunctionSpec("f", runtime_s=0.2, memory_gb=0.5))
+
+        def scenario(env, platform):
+            first = platform.invoke("f")
+            yield env.timeout(0.1)  # let it occupy the only instance
+            # The running invocation saturates the limit: pressure 1.0
+            # puts the controller in CRITICAL, shedding the newcomer.
+            second = yield platform.invoke("f")
+            assert second.shed
+            assert controller.mode is ServiceMode.CRITICAL
+            yield first
+
+        env.run(until=env.process(scenario(env, platform)))

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import (
+    BoundedQueue,
     Container,
     Environment,
     FilterStore,
@@ -367,3 +368,101 @@ def test_resource_count_property():
 
     env.process(checker(env, res))
     env.run()
+
+
+# -- BoundedQueue ----------------------------------------------------------
+
+def test_bounded_queue_reject_policy():
+    env = Environment()
+    q = BoundedQueue(env, capacity=2, policy="reject")
+    assert q.offer("a") and q.offer("b")
+    assert q.full
+    assert not q.offer("c")
+    assert (q.offered, q.accepted, q.rejected, q.shed) == (3, 2, 1, 0)
+    assert len(q) == 2
+
+
+def test_bounded_queue_shed_oldest_policy():
+    env = Environment()
+    shed_log = []
+    q = BoundedQueue(env, capacity=2, policy="shed-oldest",
+                     on_shed=lambda item, waited: shed_log.append(item))
+    assert q.offer("a") and q.offer("b") and q.offer("c")
+    assert shed_log == ["a"]
+    assert q.shed == 1
+    assert q.pop()[0] == "b"
+    assert q.pop()[0] == "c"
+    assert q.pop() is None
+
+
+def test_bounded_queue_reports_wait_times():
+    env = Environment()
+    q = BoundedQueue(env, capacity=4)
+
+    def scenario(env):
+        q.offer("a")
+        yield env.timeout(3.0)
+        q.offer("b")
+        yield env.timeout(2.0)
+        assert q.head_delay() == pytest.approx(5.0)
+        item, waited = q.pop()
+        assert (item, waited) == ("a", pytest.approx(5.0))
+        item, waited = q.pop()
+        assert (item, waited) == ("b", pytest.approx(2.0))
+
+    env.process(scenario(env))
+    env.run()
+
+
+def test_bounded_queue_shed_head_counts_and_fires_hook():
+    env = Environment()
+    shed_log = []
+    q = BoundedQueue(env, capacity=2,
+                     on_shed=lambda item, waited: shed_log.append(item))
+    q.offer("a")
+    assert q.shed_head() == ("a", 0.0)
+    assert q.shed == 1
+    assert shed_log == ["a"]
+    assert q.shed_head() is None
+
+
+def test_bounded_queue_get_waits_for_offer():
+    env = Environment()
+    q = BoundedQueue(env, capacity=2)
+    got = []
+
+    def consumer(env):
+        item, waited = yield q.get()
+        got.append((item, waited, env.now))
+
+    def producer(env):
+        yield env.timeout(4.0)
+        assert q.offer("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    # Handed straight to the waiting getter: zero queueing delay.
+    assert got == [("x", 0.0, 4.0)]
+    assert q.accepted == 1 and len(q) == 0
+
+
+def test_bounded_queue_get_immediate_when_nonempty():
+    env = Environment()
+    q = BoundedQueue(env, capacity=2)
+    q.offer("x")
+
+    def consumer(env):
+        item, waited = yield q.get()
+        assert item == "x" and waited == 0.0
+
+    env.process(consumer(env))
+    env.run()
+
+
+def test_bounded_queue_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        BoundedQueue(env, capacity=0)
+    with pytest.raises(ValueError):
+        BoundedQueue(env, capacity=1, policy="drop-newest")
