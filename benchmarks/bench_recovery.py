@@ -1,0 +1,123 @@
+"""PR-4 — checkpoint/recovery: the Young/Daly optimum, measured.
+
+Two tables:
+
+1. Sweep the checkpoint interval around the Young/Daly analytic optimum
+   ``sqrt(2 * C * MTBF)`` at two MTBF settings, with common random
+   numbers (same seed => same crash schedule for every interval). The
+   measured-best interval must land within +/-25% of the formula.
+2. Policy shoot-out at the harsher MTBF: Daly-optimal vs. no-checkpoint
+   vs. a 5x-too-frequent interval, per seed. Daly must strictly win
+   both comparisons on makespan, on every seed.
+"""
+
+from repro.faults.chaos import run_recovery_scenario
+from repro.recovery import CHECKPOINT_TIERS, daly_interval_s
+
+SEEDS = (7, 19, 42)
+#: +/-25% of the optimum is the acceptance band; the outer multipliers
+#: show the overhead curve climbing on both sides.
+MULTIPLIERS = (0.2, 0.4, 0.75, 1.0, 1.25, 2.0, 5.0)
+WITHIN_25PCT = {m for m in MULTIPLIERS if 0.75 <= m <= 1.25}
+WORK_S = 1500.0
+MTBFS = (300.0, 600.0)
+SIZE_MB = 500.0
+TIER = "remote"
+
+
+def _checkpoint_cost_s() -> float:
+    tier = CHECKPOINT_TIERS[TIER]
+    return tier.latency_s + SIZE_MB / tier.write_mb_per_s
+
+
+def _sweep(mtbf_s: float) -> dict[float, float]:
+    """Mean makespan per interval multiplier, common crash schedules."""
+    optimum = daly_interval_s(_checkpoint_cost_s(), mtbf_s)
+    means = {}
+    for mult in MULTIPLIERS:
+        makespans = [
+            run_recovery_scenario(seed=seed, policy="periodic",
+                                  interval_s=mult * optimum,
+                                  work_s=WORK_S, mtbf_s=mtbf_s,
+                                  checkpoint_size_mb=SIZE_MB,
+                                  tier=TIER)["makespan_s"]
+            for seed in SEEDS
+        ]
+        means[mult] = sum(makespans) / len(makespans)
+    return means
+
+
+def bench_daly_interval_sweep(benchmark, report, table):
+    results = benchmark.pedantic(
+        lambda: {mtbf: _sweep(mtbf) for mtbf in MTBFS},
+        rounds=1, iterations=1)
+    cost_s = _checkpoint_cost_s()
+    rows = []
+    for mtbf, means in results.items():
+        optimum = daly_interval_s(cost_s, mtbf)
+        best = min(means, key=means.get)
+        for mult, mean_s in means.items():
+            rows.append([
+                f"{mtbf:.0f}",
+                f"{mult}x ({mult * optimum:.1f} s)",
+                f"{mean_s:.1f}",
+                f"{mean_s / WORK_S - 1:.1%}",
+                "<-- best" if mult == best else "",
+            ])
+    report("recovery_daly_sweep",
+           "PR-4: checkpoint interval sweep around the Young/Daly optimum "
+           f"(C = {cost_s:.2f} s, {TIER} tier, mean of {len(SEEDS)} seeds)",
+           table(["MTBF (s)", "interval", "mean makespan (s)",
+                  "inflation", ""], rows))
+    # The acceptance criterion: at every MTBF the measured-best interval
+    # lies within +/-25% of the analytic optimum.
+    for mtbf, means in results.items():
+        best = min(means, key=means.get)
+        assert best in WITHIN_25PCT, (
+            f"MTBF {mtbf}: best multiplier {best} outside +/-25% band")
+
+
+def bench_daly_beats_extremes(benchmark, report, table):
+    mtbf_s = MTBFS[0]
+
+    def run_all():
+        out = {}
+        for seed in SEEDS:
+            out[seed] = {
+                policy: run_recovery_scenario(
+                    seed=seed, policy=policy,
+                    interval_s=(daly_interval_s(_checkpoint_cost_s(),
+                                                mtbf_s) / 5.0
+                                if policy == "periodic" else None),
+                    work_s=WORK_S, mtbf_s=mtbf_s,
+                    checkpoint_size_mb=SIZE_MB, tier=TIER)
+                for policy in ("none", "periodic", "daly")
+            }
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    label = {"none": "no checkpoint", "periodic": "5x too frequent",
+             "daly": "Daly optimal"}
+    rows = []
+    for seed, cells in results.items():
+        for policy in ("none", "periodic", "daly"):
+            r = cells[policy]
+            rows.append([
+                seed, label[policy], f"{r['makespan_s']:.1f}",
+                r["crashes"], f"{r['lost_work_s']:.1f}",
+                f"{r['checkpoint_time_s']:.1f}",
+            ])
+    report("recovery_policy_shootout",
+           f"PR-4: recovery stance shoot-out (MTBF {mtbf_s:.0f} s, "
+           f"work {WORK_S:.0f} s, per seed)",
+           table(["seed", "policy", "makespan (s)", "crashes",
+                  "lost work (s)", "ckpt time (s)"], rows))
+    for seed, cells in results.items():
+        # The comparison is only meaningful if faults actually fired.
+        assert cells["daly"]["crashes"] > 0, f"seed {seed} never crashed"
+        # Daly strictly beats restart-from-scratch...
+        assert (cells["daly"]["makespan_s"]
+                < cells["none"]["makespan_s"]), f"seed {seed}"
+        # ...and strictly beats checkpointing 5x too often.
+        assert (cells["daly"]["makespan_s"]
+                < cells["periodic"]["makespan_s"]), f"seed {seed}"

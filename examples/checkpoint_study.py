@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Checkpoint study: finding the Young/Daly sweet spot empirically.
+
+Sweeps the checkpoint interval around the analytic optimum
+``sqrt(2 * C * MTBF)`` at two MTBF settings, with common random numbers
+(same seed => same crash schedule for every interval), and shows the
+classic U-curve: checkpoint too often and you drown in checkpoint
+overhead, too rarely and every crash throws away a fortune in lost work.
+
+Then demonstrates the other recovery wirings: the scheduler fail-stopping
+mid-schedule and recovering its believed state from the write-ahead
+journal with zero completed tasks lost.
+
+Run:  PYTHONPATH=src python examples/checkpoint_study.py
+"""
+
+from repro.faults.chaos import (
+    run_recovery_scenario,
+    run_scheduler_recovery_scenario,
+)
+from repro.recovery import CHECKPOINT_TIERS, daly_interval_s
+
+SEEDS = (7, 19, 42)
+MULTIPLIERS = (0.2, 0.5, 1.0, 2.0, 5.0)
+WORK_S = 1500.0
+SIZE_MB = 500.0
+TIER = "remote"
+
+
+def sweep(mtbf_s):
+    tier = CHECKPOINT_TIERS[TIER]
+    cost_s = tier.latency_s + SIZE_MB / tier.write_mb_per_s
+    optimum = daly_interval_s(cost_s, mtbf_s)
+    rows = []
+    for mult in MULTIPLIERS:
+        runs = [run_recovery_scenario(seed=seed, policy="periodic",
+                                      interval_s=mult * optimum,
+                                      work_s=WORK_S, mtbf_s=mtbf_s,
+                                      checkpoint_size_mb=SIZE_MB, tier=TIER)
+                for seed in SEEDS]
+        mean = lambda key: sum(r[key] for r in runs) / len(runs)
+        rows.append([f"{mult}x ({mult * optimum:.0f} s)",
+                     f"{mean('makespan_s'):.0f} s",
+                     f"{mean('makespan_inflation'):.0%}",
+                     f"{mean('lost_work_s'):.0f} s",
+                     f"{mean('checkpoint_time_s'):.0f} s"])
+    return optimum, rows
+
+
+def print_table(headers, rows):
+    widths = [max(len(str(r[i])) for r in [headers] + rows)
+              for i in range(len(headers))]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def main():
+    for mtbf_s in (300.0, 600.0):
+        optimum, rows = sweep(mtbf_s)
+        print(f"MTBF {mtbf_s:.0f} s — Young/Daly optimum "
+              f"{optimum:.0f} s (work {WORK_S:.0f} s, "
+              f"mean of {len(SEEDS)} seeds):")
+        print_table(["interval", "makespan", "inflation", "lost work",
+                     "ckpt time"], rows)
+        print()
+
+    baseline = run_recovery_scenario(seed=7, policy="none",
+                                     work_s=WORK_S, mtbf_s=300.0)
+    daly = run_recovery_scenario(seed=7, policy="daly", work_s=WORK_S,
+                                 mtbf_s=300.0, checkpoint_size_mb=SIZE_MB,
+                                 tier=TIER)
+    print(f"Without checkpoints the same job (seed 7, MTBF 300 s) restarts "
+          f"from scratch {baseline['crashes']} times and takes "
+          f"{baseline['makespan_s'] / 3600:.1f} sim-hours; Daly-optimal "
+          f"checkpointing finishes in {daly['makespan_s'] / 60:.0f} "
+          f"sim-minutes.")
+
+    sched = run_scheduler_recovery_scenario(seed=7)
+    print(f"\nScheduler crash-recovery: the scheduler fail-stopped at "
+          f"t=40s for 60s while machines kept running. Journal replay "
+          f"({sched['journal_appends']} records) recovered "
+          f"{sched['recovered_completions']} unreported completions, "
+          f"re-adopted {sched['readopted']} surviving dispatches, and "
+          f"requeued {sched['orphans_requeued']} orphans: "
+          f"{sched['completed']} tasks completed, {sched['lost']} lost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.machine import Machine
+from repro.recovery.journal import Journal
 from repro.scheduling.policies import FairSharePolicy, Policy
 from repro.sim import Environment, Monitor
 from repro.workload.task import BagOfTasks, Task, TaskState, Workflow
@@ -67,7 +68,9 @@ class ClusterSimulator:
     def __init__(self, env: Environment, cluster: Cluster, policy: Policy,
                  monitor: Optional[Monitor] = None,
                  failure_mode: str = "requeue",
-                 health=None, dispatch_timeout_s: float = 5.0):
+                 health=None, dispatch_timeout_s: float = 5.0,
+                 journal: Optional[Journal] = None,
+                 scheduler_restart_cost_s: float = 1.0):
         if failure_mode not in ("requeue", "drop"):
             raise ValueError(
                 f"failure_mode must be 'requeue' or 'drop', got {failure_mode!r}")
@@ -109,9 +112,35 @@ class ClusterSimulator:
         #: Machine incarnation observed when each running task was placed,
         #: so post-crash releases are recognized as stale.
         self._incarnations: dict[int, int] = {}
+        #: Optional write-ahead journal of submit/dispatch/complete/requeue
+        #: transitions. With one, the scheduler itself can crash and
+        #: recover: see :meth:`crash_scheduler` / :meth:`recover_scheduler`.
+        self.journal = journal
+        self.scheduler_restart_cost_s = scheduler_restart_cost_s
+        self._crashed = False
+        #: Tasks that finished on their machine while the scheduler was
+        #: down — the completion report the dead scheduler never saw.
+        self._unreported: list[tuple[Task, float]] = []
+        #: Tasks killed by machine failures while the scheduler was down —
+        #: nobody alive to requeue them until recovery.
+        self._orphaned: list[Task] = []
+        #: Task registry for journal replay (task_id -> Task).
+        self._tasks: dict[int, Task] = {}
+        self.scheduler_crashes = 0
+        #: Running dispatches a recovering scheduler re-adopted.
+        self.readopted = 0
+        #: Orphaned tasks a recovering scheduler requeued.
+        self.orphans_requeued = 0
+        #: Completions that happened during the outage, credited at recovery.
+        self.recovered_completions = 0
         self._wake = env.event()
         self._done_submitting = False
         self._scheduler = env.process(self._schedule_loop())
+
+    def _journal(self, kind: str, task: Task) -> None:
+        if self.journal is not None and not self._crashed:
+            self._tasks[task.task_id] = task
+            self.journal.append(kind, {"task_id": task.task_id})
 
     # -- submission -----------------------------------------------------------
     def submit_jobs(self, jobs: Sequence[Job]) -> None:
@@ -125,10 +154,11 @@ class ClusterSimulator:
             delay = job.submit_time - self.env.now
             if delay > 0:
                 yield self.env.timeout(delay)
-            if isinstance(job, Workflow):
-                self.ready.extend(job.ready_tasks())
-            else:
-                self.ready.extend(job.tasks)
+            arrived = (job.ready_tasks() if isinstance(job, Workflow)
+                       else job.tasks)
+            self.ready.extend(arrived)
+            for task in arrived:
+                self._journal("submit", task)
             self._kick()
         self._done_submitting = True
         self._kick()
@@ -142,7 +172,9 @@ class ClusterSimulator:
     @property
     def all_done(self) -> bool:
         return (self._done_submitting and not self.ready
-                and not self.running and not self._limbo)
+                and not self.running and not self._limbo
+                and not self._crashed and not self._unreported
+                and not self._orphaned)
 
     def _schedule_loop(self):
         while True:
@@ -209,6 +241,8 @@ class ClusterSimulator:
         return None
 
     def _try_schedule(self) -> None:
+        if self._crashed:
+            return  # a dead scheduler dispatches nothing
         if self.pre_schedule is not None and self.ready:
             self.pre_schedule()
         progress = True
@@ -243,6 +277,7 @@ class ClusterSimulator:
 
     def _start(self, task: Task, machine: Machine) -> None:
         self.ready.remove(task)
+        self._journal("dispatch", task)
         if self.health is not None and not machine.is_up:
             # The detector has not suspected this machine yet, so the
             # scheduler believes it alive; the dispatch lands on a dead box
@@ -269,7 +304,12 @@ class ClusterSimulator:
         self.monitor.count("misdispatches")
         task.state = TaskState.PENDING
         task.start_time = None
+        if self._crashed:
+            # Nobody is alive to notice the timeout; recovery requeues it.
+            self._orphaned.append(task)
+            return
         self.ready.append(task)
+        self._journal("requeue", task)
         self._kick()
 
     def handle_machine_failure(self, machine: Machine) -> None:
@@ -296,6 +336,91 @@ class ClusterSimulator:
         """
         self._kick()
 
+    # -- scheduler crash-recovery ---------------------------------------------
+    def crash_scheduler(self) -> None:
+        """Fail-stop the scheduler itself (requires a journal).
+
+        Tasks already running keep running — machines are a separate
+        failure domain — but nothing new is dispatched, completion
+        reports are lost until recovery, and machine-failure victims are
+        orphaned instead of requeued.
+        """
+        if self.journal is None:
+            raise RuntimeError("scheduler crash-recovery needs a journal")
+        if self._crashed:
+            raise RuntimeError("scheduler is already down")
+        self._crashed = True
+        self.scheduler_crashes += 1
+        self.monitor.count("scheduler_crashes")
+
+    def recover_scheduler(self):
+        """Process: restart the scheduler and reconcile state via journal.
+
+        Replays the journal's durable prefix to rebuild what the dead
+        scheduler *believed* (ready / dispatched / done per task), then
+        reconciles belief against the actual cluster:
+
+        - a believed-running task still executing is **re-adopted** in
+          place (no re-dispatch, no lost work);
+        - a believed-running task that finished during the outage is
+          credited as completed — completions are never lost, because the
+          work itself survived the scheduler;
+        - a believed-running task whose machine died during the outage is
+          an **orphan**: requeued, exactly like PR 3's misdispatches.
+        """
+        if not self._crashed:
+            raise RuntimeError("recover_scheduler() without a crash")
+        if self.scheduler_restart_cost_s > 0:
+            yield self.env.timeout(self.scheduler_restart_cost_s)
+        replay_s = self.journal.replay_time_s()
+        records = self.journal.replay()
+        if replay_s > 0:
+            yield self.env.timeout(replay_s)
+        believed: dict[int, str] = {}
+        for record in records:
+            task_id = record.payload["task_id"]
+            believed[task_id] = {"submit": "ready", "requeue": "ready",
+                                 "dispatch": "running", "complete": "done",
+                                 "drop": "dropped"}[record.kind]
+        self._crashed = False
+        still_running = set(self.running) | set(self._limbo)
+        finished_ids = {t.task_id for t in self.finished}
+        for task, runtime in self._unreported:
+            # Completion raced the crash (or happened during the outage):
+            # the work is done and stays done.
+            self._report_completion(task, runtime)
+            self.recovered_completions += 1
+            finished_ids.add(task.task_id)
+        self._unreported.clear()
+        orphans, self._orphaned = self._orphaned, []
+        for task in orphans:
+            self.ready.append(task)
+            self._journal("requeue", task)
+            self.orphans_requeued += 1
+            self.monitor.count("orphans_requeued")
+        for task_id, state in believed.items():
+            if state == "running":
+                if task_id in still_running:
+                    # The dispatch survived the outage: adopt, don't redo.
+                    self.readopted += 1
+                    self.monitor.count("readopted_dispatches")
+                elif task_id not in finished_ids:
+                    # Believed running, not on any machine, not finished:
+                    # the dispatch evaporated with the crash (e.g. its
+                    # completion record was lost and the journal has no
+                    # later word). Requeue defensively.
+                    task = self._tasks[task_id]
+                    if (task not in self.ready
+                            and task.state is not TaskState.DONE
+                            and task.state is not TaskState.FAILED):
+                        task.state = TaskState.PENDING
+                        task.start_time = None
+                        self.ready.append(task)
+                        self._journal("requeue", task)
+                        self.orphans_requeued += 1
+                        self.monitor.count("orphans_requeued")
+        self._kick()
+
     def _execute(self, task: Task, machine: Machine):
         from repro.sim import Interrupt
         runtime = machine.runtime_of(task.work)
@@ -313,11 +438,19 @@ class ClusterSimulator:
                 task.state = TaskState.FAILED
                 task.start_time = None
                 self.failed.append(task)
+                self._journal("drop", task)
+            elif self._crashed:
+                # A machine died while the scheduler was down: the victim
+                # has no scheduler to requeue it — orphaned until recovery.
+                task.state = TaskState.PENDING
+                task.start_time = None
+                self._orphaned.append(task)
             else:
                 task.state = TaskState.PENDING
                 task.start_time = None
                 self.restarts += 1
                 self.ready.append(task)
+                self._journal("requeue", task)
             self._kick()
             return
         machine.release(task.cores, task.memory_gb,
@@ -327,7 +460,20 @@ class ClusterSimulator:
         task.finish_time = self.env.now
         del self.running[task.task_id]
         self._procs.pop(task.task_id, None)
+        if self._crashed:
+            # The task finished on its machine, but the completion report
+            # went to a dead scheduler; recovery reconciles it — the task
+            # is done (work is never redone), only the bookkeeping lags.
+            self._unreported.append((task, runtime))
+            return
+        self._report_completion(task, runtime)
+        self.monitor.record("utilization", self.cluster.utilization)
+        self._kick()
+
+    def _report_completion(self, task: Task, runtime: float) -> None:
+        """Scheduler-side bookkeeping of one finished task."""
         self.finished.append(task)
+        self._journal("complete", task)
         if isinstance(self.policy, FairSharePolicy):
             self.policy.charge(task.user, task.cores * runtime)
         # Unlock workflow successors.
@@ -336,9 +482,8 @@ class ClusterSimulator:
                 for succ in job.ready_tasks():
                     if succ not in self.ready:
                         self.ready.append(succ)
+                        self._journal("submit", succ)
                 break
-        self.monitor.record("utilization", self.cluster.utilization)
-        self._kick()
 
     # -- metrics --------------------------------------------------------------
     def metrics(self) -> ScheduleMetrics:

@@ -1,0 +1,209 @@
+"""Durable workflow execution: journaled steps, replay, idempotent effects.
+
+The plain :class:`~repro.serverless.workflow.WorkflowEngine` is an
+in-memory orchestrator: if it crashes mid-workflow, every completed
+step's result is gone and a retry re-invokes the whole DAG. The
+:class:`DurableWorkflowEngine` journals each completed step to a
+write-ahead :class:`~repro.recovery.journal.Journal`; a recovering
+orchestrator *replays* the journal and skips every step with a durable
+record instead of re-invoking it.
+
+Durability is windowed (the journal's ``append_cost_s`` group-commit
+horizon), so recovery gives **at-least-once** execution: a step whose
+function ran but whose record was not yet durable at the crash — or was
+still in flight — executes again. Side-effects are registered by
+detached recorder processes that outlive the orchestrator (the function
+*did* run, whether or not the orchestrator survived to see it), and an
+idempotency key ``(run_key, step)`` suppresses the duplicates:
+**effectively-once** end to end. The engine counts both halves —
+``steps_replayed`` (re-invocations the journal saved) and
+``dedup_suppressed`` (duplicate side-effects the key absorbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import networkx as nx
+
+from repro.recovery.journal import Journal
+from repro.serverless.platform import FaaSPlatform, Invocation
+from repro.serverless.workflow import FunctionWorkflow
+from repro.sim import Environment, Interrupt
+
+
+@dataclass
+class DurableRun:
+    """One durable execution of a workflow."""
+
+    workflow: str
+    #: Idempotency namespace: effects are keyed ``(key, step)``.
+    key: str
+    submit_time: float
+    finish_time: Optional[float] = None
+    status: str = "running"
+    invocations: dict[str, Invocation] = field(default_factory=dict)
+    failed_steps: set[str] = field(default_factory=set)
+    skipped_steps: set[str] = field(default_factory=set)
+    #: Orchestrator incarnations (1 = never crashed).
+    attempts: int = 0
+    orchestrator_crashes: int = 0
+    #: Steps skipped on recovery because their journal record survived —
+    #: each one is a re-invocation the journal saved.
+    steps_replayed: int = 0
+    #: Invocations actually issued to the platform (across attempts).
+    invocations_issued: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "completed"
+
+    @property
+    def makespan(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+
+class DurableWorkflowEngine:
+    """Workflow orchestration that survives its own crashes.
+
+    The engine is a :class:`~repro.faults.models.CrashRestart` target:
+    ``fail()`` kills every in-flight driver (their functions keep
+    running — the platform is a separate failure domain), ``repair()``
+    lets them recover. Recovery pays ``restart_cost_s`` plus the
+    journal's bounded replay cost, then resumes each run from its
+    durable frontier.
+    """
+
+    def __init__(self, env: Environment, platform: FaaSPlatform,
+                 journal: Journal, restart_cost_s: float = 0.5,
+                 name: str = "durable-engine"):
+        if restart_cost_s < 0:
+            raise ValueError("restart_cost_s must be non-negative")
+        self.env = env
+        self.platform = platform
+        self.journal = journal
+        self.restart_cost_s = restart_cost_s
+        self.name = name
+        self.runs: list[DurableRun] = []
+        #: Raw side-effect executions per ``(key, step)`` — at-least-once.
+        self.effects: dict[tuple[str, str], int] = {}
+        #: Duplicate side-effects absorbed by the idempotency key.
+        self.dedup_suppressed = 0
+        self._up = True
+        self._repaired = None
+        self._drivers: list = []
+
+    # -- CrashRestart target protocol --------------------------------------
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def fail(self) -> None:
+        self._up = False
+        self._repaired = self.env.event()
+        for proc in self._drivers:
+            if proc.is_alive:
+                proc.interrupt("orchestrator-crash")
+
+    def repair(self) -> None:
+        self._up = True
+        if self._repaired is not None and not self._repaired.triggered:
+            self._repaired.succeed()
+
+    # -- aggregate counters ------------------------------------------------
+    @property
+    def steps_replayed(self) -> int:
+        return sum(r.steps_replayed for r in self.runs)
+
+    @property
+    def invocations_issued(self) -> int:
+        return sum(r.invocations_issued for r in self.runs)
+
+    def effective_effect_count(self, key: str, step: str) -> int:
+        """Effect count *after* idempotency dedup: 0 or 1, never more."""
+        return min(1, self.effects.get((key, step), 0))
+
+    # -- execution ---------------------------------------------------------
+    def submit(self, workflow: FunctionWorkflow, key: str):
+        """Durably run the workflow; returns an Event yielding DurableRun."""
+        for function in workflow.functions.values():
+            if function not in self.platform.functions:
+                raise KeyError(
+                    f"workflow {workflow.name!r} uses undeployed function "
+                    f"{function!r}")
+        run = DurableRun(workflow=workflow.name, key=key,
+                         submit_time=self.env.now)
+        self.runs.append(run)
+        done = self.env.event()
+        proc = self.env.process(self._drive(workflow, run, done))
+        self._drivers.append(proc)
+        return done
+
+    def _record_effect(self, event, key: str, step: str):
+        """Detached recorder: the function's side-effect happens when the
+        *function* finishes, regardless of whether the orchestrator is
+        still alive to observe it."""
+        inv = yield event
+        if not (inv.failed or inv.rejected or inv.shed):
+            count = self.effects.get((key, step), 0) + 1
+            self.effects[(key, step)] = count
+            if count > 1:
+                self.dedup_suppressed += 1
+
+    def _drive(self, workflow: FunctionWorkflow, run: DurableRun, done):
+        order = list(nx.lexicographical_topological_sort(workflow.graph))
+        while True:
+            run.attempts += 1
+            try:
+                completed: set[str] = set()
+                if run.attempts > 1:
+                    # Recovery: restart, then replay the durable prefix.
+                    if self.restart_cost_s > 0:
+                        yield self.env.timeout(self.restart_cost_s)
+                    replay_s = self.journal.replay_time_s()
+                    records = self.journal.replay()
+                    if replay_s > 0:
+                        yield self.env.timeout(replay_s)
+                    for record in records:
+                        if (record.kind == "step_done"
+                                and record.payload["key"] == run.key):
+                            completed.add(record.payload["step"])
+                for step in order:
+                    if step in run.skipped_steps:
+                        continue
+                    preds = list(workflow.graph.predecessors(step))
+                    if any(p in run.failed_steps or p in run.skipped_steps
+                           for p in preds):
+                        run.skipped_steps.add(step)
+                        continue
+                    if step in completed:
+                        run.steps_replayed += 1
+                        continue
+                    event = self.platform.invoke(workflow.functions[step])
+                    run.invocations_issued += 1
+                    self.env.process(self._record_effect(event, run.key,
+                                                         step))
+                    inv = yield event
+                    if inv.rejected:
+                        raise RuntimeError(
+                            f"workflow {workflow.name}: step {step} "
+                            "rejected by concurrency limit")
+                    run.invocations[step] = inv
+                    if inv.failed or inv.shed:
+                        run.failed_steps.add(step)
+                        for desc in nx.descendants(workflow.graph, step):
+                            run.skipped_steps.add(desc)
+                        continue
+                    self.journal.append("step_done",
+                                        {"key": run.key, "step": step})
+                run.finish_time = self.env.now
+                run.status = "failed" if run.failed_steps else "completed"
+                done.succeed(run)
+                return
+            except Interrupt:
+                run.orchestrator_crashes += 1
+                if self._repaired is not None:
+                    yield self._repaired

@@ -68,6 +68,17 @@ class WorkflowRun:
     submit_time: float
     finish_time: Optional[float] = None
     invocations: dict[str, Invocation] = field(default_factory=dict)
+    #: ``"running"`` until the engine settles every step, then
+    #: ``"completed"`` or ``"failed"`` — a workflow always terminates.
+    status: str = "running"
+    #: Steps whose invocation exhausted its retries (or was shed).
+    failed_steps: set[str] = field(default_factory=set)
+    #: Steps never invoked because an ancestor failed.
+    skipped_steps: set[str] = field(default_factory=set)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "completed"
 
     @property
     def makespan(self) -> Optional[float]:
@@ -114,14 +125,33 @@ class WorkflowEngine:
         finished: set[str] = set()
         in_flight: dict = {}
 
+        def settled() -> int:
+            return (len(finished) + len(run.failed_steps)
+                    + len(run.skipped_steps))
+
+        def mark_failed(step: str):
+            """A step is dead: every unreached descendant is skipped.
+
+            This is what makes failure *deterministic*: the run settles
+            every step (finished, failed, or skipped) and terminates —
+            it never hangs waiting on steps that can no longer run.
+            """
+            run.failed_steps.add(step)
+            for desc in nx.descendants(workflow.graph, step):
+                if desc not in finished and desc not in run.failed_steps:
+                    run.skipped_steps.add(desc)
+
         def launch_ready():
             for step, preds in remaining_preds.items():
-                if preds == 0 and step not in finished and step not in in_flight:
+                if (preds == 0 and step not in finished
+                        and step not in in_flight
+                        and step not in run.failed_steps
+                        and step not in run.skipped_steps):
                     in_flight[step] = self.platform.invoke(
                         workflow.functions[step])
 
         launch_ready()
-        while len(finished) < len(workflow.functions):
+        while settled() < len(workflow.functions):
             if not in_flight:
                 raise RuntimeError(
                     f"workflow {workflow.name}: deadlock (rejected "
@@ -136,10 +166,14 @@ class WorkflowEngine:
                             f"workflow {workflow.name}: step {step} "
                             "rejected by concurrency limit")
                     run.invocations[step] = inv
-                    finished.add(step)
                     del in_flight[step]
+                    if inv.failed or inv.shed:
+                        mark_failed(step)
+                        continue
+                    finished.add(step)
                     for succ in workflow.graph.successors(step):
                         remaining_preds[succ] -= 1
             launch_ready()
         run.finish_time = self.env.now
+        run.status = "completed" if not run.failed_steps else "failed"
         done.succeed(run)

@@ -1,5 +1,6 @@
 """Tests for the fault models."""
 
+import numpy as np
 import pytest
 
 from repro.faults import (
@@ -164,3 +165,90 @@ class TestCorrelatedBurst:
         with pytest.raises(ValueError):
             CorrelatedBurst(env, [FlakyTarget()], rng,
                             mean_interval_s=10.0, fraction=0.0)
+
+
+class TestCorrelatedBurstStatistics:
+    """Statistical coverage: burst size/interval distributions and the
+    availability the burst regime implies."""
+
+    def _run(self, seed=11, n=20, interval=50.0, fraction=0.25,
+             mttr=10.0, horizon=100_000.0):
+        env = Environment()
+        rng = RandomStreams(seed=seed).get("burst")
+        targets = [FlakyTarget(f"t{i}") for i in range(n)]
+        mon = Monitor(env)
+        fail_times = []
+        burst = CorrelatedBurst(env, targets, rng, mean_interval_s=interval,
+                                fraction=fraction, mttr_s=mttr, monitor=mon,
+                                on_fail=lambda t: fail_times.append(env.now))
+        up_samples = []
+
+        def sampler(env):
+            while True:
+                yield env.timeout(5.0)
+                up_samples.append(sum(1 for t in targets if t.is_up) / n)
+
+        env.process(sampler(env))
+        env.run(until=horizon)
+        return burst, mon, fail_times, up_samples
+
+    def test_burst_interval_distribution_is_exponential(self):
+        burst, _, fail_times, _ = self._run()
+        burst_times = sorted(set(fail_times))
+        assert len(burst_times) == burst.bursts
+        gaps = np.diff(burst_times)
+        # Mean inter-burst gap matches the configured rate...
+        assert gaps.mean() == pytest.approx(50.0, rel=0.10)
+        # ...and the coefficient of variation is ~1: exponential, not
+        # regular (CV~0) or heavy-tailed clustering (CV>>1).
+        assert 0.85 < gaps.std() / gaps.mean() < 1.15
+
+    def test_burst_size_distribution(self):
+        burst, mon, _, _ = self._run()
+        sizes = np.asarray(mon.series["burst_size"].values, dtype=float)
+        assert len(sizes) == burst.bursts
+        assert sizes.max() <= 5  # never more than fraction * n_targets
+        # Fast repair keeps nearly all 20 targets up between bursts, so
+        # almost every burst takes down round(0.25 * 20) = 5 of them.
+        assert sizes.mean() == pytest.approx(5.0, rel=0.05)
+        assert burst.victims == int(sizes.sum())
+
+    def test_availability_accounting_matches_burst_math(self):
+        # Per-target failure rate = fraction / interval; unavailability
+        # = rate * MTTR  =>  A = 1 - fraction * mttr / interval = 0.95.
+        _, _, _, up_samples = self._run()
+        availability = float(np.mean(up_samples))
+        assert availability == pytest.approx(0.95, abs=0.01)
+
+    def test_victims_scale_with_fraction(self):
+        small, _, _, _ = self._run(fraction=0.1, mttr=2.0)
+        large, _, _, _ = self._run(fraction=0.5, mttr=2.0)
+        assert large.victims > 3 * small.victims
+
+
+class TestCrashRestartAvailabilityConvergence:
+    def test_empirical_converges_to_expected_on_long_runs(self):
+        env = Environment()
+        rng = RandomStreams(seed=3).get("crash")
+        targets = [FlakyTarget(f"t{i}") for i in range(5)]
+        model = CrashRestart(env, targets, rng, mtbf_s=100.0, mttr_s=25.0)
+        env.run(until=200_000)
+        assert model.expected_availability == pytest.approx(0.8)
+        # Long-run empirical availability converges tightly (LLN): the
+        # short-run test above tolerates 5%, here we demand 1%.
+        assert model.empirical_availability() == pytest.approx(
+            model.expected_availability, abs=0.01)
+
+    def test_convergence_improves_with_horizon(self):
+        def gap_at(horizon):
+            env = Environment()
+            rng = RandomStreams(seed=5).get("crash")
+            targets = [FlakyTarget(f"t{i}") for i in range(3)]
+            model = CrashRestart(env, targets, rng,
+                                 mtbf_s=50.0, mttr_s=50.0)
+            env.run(until=horizon)
+            return abs(model.empirical_availability()
+                       - model.expected_availability)
+
+        # 100x the horizon must shrink the estimation error.
+        assert gap_at(500_000.0) < gap_at(5_000.0)

@@ -11,6 +11,7 @@ import pytest
 from repro.analysis.sanitizers import DeterminismSanitizer
 from repro.faults.chaos import (
     run_chaos_matrix,
+    run_recovery_scenario,
     run_scheduling_scenario,
     run_serverless_scenario,
 )
@@ -49,3 +50,13 @@ def test_scheduling_scenario_trace_identical(seed):
         lambda: run_scheduling_scenario(seed=seed, mtbf_s=300.0,
                                         n_tasks=40, n_machines=4),
         label=f"scheduling seed={seed}")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_recovery_scenario_trace_identical(seed):
+    sanitizer = DeterminismSanitizer(runs=2)
+    sanitizer.check(
+        lambda: run_recovery_scenario(seed=seed, policy="daly",
+                                      work_s=600.0, mtbf_s=150.0,
+                                      corruption_p=0.05),
+        label=f"recovery seed={seed}")

@@ -1,0 +1,252 @@
+"""Tests for CheckpointedJob: rollback, recovery, and the time ledger."""
+
+import pytest
+
+from repro.faults.models import CrashRestart
+from repro.recovery import (
+    CheckpointStore,
+    CheckpointedJob,
+    Journal,
+    PeriodicCheckpoint,
+)
+from repro.sim import Environment, RandomStreams
+
+#: Local-tier write cost of a 120 MB snapshot: 0.02 + 120/1200.
+CKPT_COST = 0.12
+
+
+def make_job(env, work_s=100.0, interval_s=30.0, **kwargs):
+    store = CheckpointStore(env, tier="local")
+    job = CheckpointedJob(env, work_s=work_s,
+                          policy=PeriodicCheckpoint(interval_s),
+                          store=store, checkpoint_size_mb=120.0, **kwargs)
+    return job, store
+
+
+def crash_once(env, job, at_s, down_s):
+    def driver():
+        yield env.timeout(at_s)
+        job.fail()
+        yield env.timeout(down_s)
+        job.repair()
+    env.process(driver())
+
+
+def assert_identity(stats):
+    ledger = (stats.work_s + stats.checkpoint_time_s + stats.lost_work_s
+              + stats.recovery_time_s + stats.downtime_s)
+    assert stats.makespan_s == pytest.approx(ledger)
+
+
+class TestFaultFree:
+    def test_no_policy_runs_in_exactly_work_time(self):
+        env = Environment()
+        job = CheckpointedJob(env, work_s=100.0)
+        env.run(until=job.done)
+        stats = job.stats()
+        assert stats.makespan_s == pytest.approx(100.0)
+        assert stats.checkpoints_written == 0
+        assert stats.crashes == 0
+
+    def test_checkpoint_overhead_only(self):
+        env = Environment()
+        job, store = make_job(env)  # 100s work, 30s interval
+        env.run(until=job.done)
+        stats = job.stats()
+        # Checkpoints at 30/60/90s of progress; none at the 100s finish.
+        assert stats.checkpoints_written == 3
+        assert stats.checkpoint_time_s == pytest.approx(3 * CKPT_COST)
+        assert stats.makespan_s == pytest.approx(100.0 + 3 * CKPT_COST)
+        assert_identity(stats)
+
+    def test_stats_before_finish_raises(self):
+        env = Environment()
+        job = CheckpointedJob(env, work_s=10.0)
+        with pytest.raises(RuntimeError):
+            job.stats()
+
+
+class TestValidation:
+    def test_policy_without_store_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            CheckpointedJob(env, work_s=10.0,
+                            policy=PeriodicCheckpoint(5.0))
+
+    def test_store_without_policy_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            CheckpointedJob(env, work_s=10.0, store=CheckpointStore(env))
+
+    def test_invalid_work(self):
+        with pytest.raises(ValueError):
+            CheckpointedJob(Environment(), work_s=0.0)
+
+
+class TestCrashRollback:
+    def test_crash_loses_only_work_since_last_checkpoint(self):
+        env = Environment()
+        job, store = make_job(env)
+        # Timeline: seg to 30, ckpt; seg to 60 (t=60.12), ckpt (t=60.24);
+        # crash at t=70 loses 70 - 60.24 of the third segment.
+        crash_once(env, job, at_s=70.0, down_s=5.0)
+        env.run(until=job.done)
+        stats = job.stats()
+        assert stats.crashes == 1
+        assert stats.lost_work_s == pytest.approx(70.0 - (60.0 + 2 * CKPT_COST))
+        assert stats.downtime_s == pytest.approx(5.0)
+        assert stats.restores == 1
+        # Recovery paid the restore read, nothing more (no restart cost).
+        assert stats.recovery_time_s == pytest.approx(store.read_time_s(120.0))
+        assert_identity(stats)
+
+    def test_restart_cost_charged_on_recovery(self):
+        env = Environment()
+        job, store = make_job(env, restart_cost_s=3.0)
+        crash_once(env, job, at_s=70.0, down_s=5.0)
+        env.run(until=job.done)
+        stats = job.stats()
+        assert stats.recovery_time_s == pytest.approx(
+            3.0 + store.read_time_s(120.0))
+        assert_identity(stats)
+
+    def test_no_policy_restarts_from_zero(self):
+        env = Environment()
+        job = CheckpointedJob(env, work_s=100.0)
+        crash_once(env, job, at_s=80.0, down_s=2.0)
+        env.run(until=job.done)
+        stats = job.stats()
+        # All 80 seconds of progress are gone.
+        assert stats.lost_work_s == pytest.approx(80.0)
+        assert stats.makespan_s == pytest.approx(80.0 + 2.0 + 100.0)
+        assert stats.restores == 0
+        assert_identity(stats)
+
+    def test_crash_during_checkpoint_write_loses_segment_and_write(self):
+        env = Environment()
+        job, _ = make_job(env)
+        # First checkpoint write spans [30, 30.12): crash inside it.
+        crash_once(env, job, at_s=30.06, down_s=1.0)
+        env.run(until=job.done)
+        stats = job.stats()
+        # The partial write never committed: restore finds nothing.
+        assert stats.restores == 0
+        assert stats.lost_work_s == pytest.approx(30.06)
+        assert_identity(stats)
+
+    def test_corrupt_newest_checkpoint_rolls_back_further(self):
+        env = Environment()
+        job, store = make_job(env)
+        crash_once(env, job, at_s=70.0, down_s=5.0)
+
+        def corrupter():
+            # After the second checkpoint commits (t > 60.24), poison it.
+            yield env.timeout(65.0)
+            store.checkpoints[-1].corrupt = True
+        env.process(corrupter())
+        env.run(until=job.done)
+        stats = job.stats()
+        # Fell back to the progress=30 snapshot: the 30..60 segment is
+        # lost again on top of the in-flight loss.
+        assert stats.corrupt_fallbacks == 1
+        assert stats.lost_work_s == pytest.approx(
+            (70.0 - (60.0 + 2 * CKPT_COST)) + 30.0)
+        assert_identity(stats)
+
+
+class TestQuantizedSupersteps:
+    def test_checkpoints_land_on_superstep_boundaries(self):
+        env = Environment()
+        store = CheckpointStore(env, tier="local")
+        # Interval 25s, quantum 10s -> rounds to 3 supersteps per segment.
+        job = CheckpointedJob(env, work_s=100.0,
+                              policy=PeriodicCheckpoint(25.0), store=store,
+                              quantum_s=10.0, checkpoint_size_mb=120.0)
+        env.run(until=job.done)
+        stats = job.stats()
+        # Segments of 30s: checkpoints after supersteps 3, 6, 9.
+        assert stats.checkpoints_written == 3
+        for ckpt in store.checkpoints:
+            assert ckpt.payload["progress"] % 10.0 == pytest.approx(0.0)
+
+    def test_interval_below_quantum_checkpoints_every_superstep(self):
+        env = Environment()
+        store = CheckpointStore(env, tier="local")
+        job = CheckpointedJob(env, work_s=50.0,
+                              policy=PeriodicCheckpoint(3.0), store=store,
+                              quantum_s=10.0, checkpoint_size_mb=120.0)
+        env.run(until=job.done)
+        assert job.stats().checkpoints_written == 4  # after steps 1..4
+
+
+class TestJournalIntegration:
+    def test_truncate_on_checkpoint_bounds_replay(self):
+        env = Environment()
+        store = CheckpointStore(env, tier="local")
+        journal = Journal(env, replay_cost_per_record_s=0.01)
+        job = CheckpointedJob(env, work_s=100.0,
+                              policy=PeriodicCheckpoint(30.0), store=store,
+                              journal=journal, checkpoint_size_mb=120.0)
+
+        def appender():
+            # Two records per second of the first segment.
+            for _ in range(20):
+                journal.append("tick")
+                yield env.timeout(1.0)
+        env.process(appender())
+        env.run(until=job.done)
+        # Every record predates the first checkpoint: all truncated.
+        assert journal.truncated_records == 20
+        assert len(journal) == 0
+
+    def test_replay_cost_paid_at_recovery(self):
+        env = Environment()
+        store = CheckpointStore(env, tier="local")
+        journal = Journal(env, replay_cost_per_record_s=0.5)
+        job = CheckpointedJob(env, work_s=100.0,
+                              policy=PeriodicCheckpoint(30.0), store=store,
+                              journal=journal, checkpoint_size_mb=120.0)
+
+        def appender():
+            # Records appended *after* the first checkpoint (t > 30.12).
+            yield env.timeout(35.0)
+            for _ in range(4):
+                journal.append("tick")
+        env.process(appender())
+        crash_once(env, job, at_s=40.0, down_s=1.0)
+        env.run(until=job.done)
+        stats = job.stats()
+        # Recovery = restore read + 4-record replay at 0.5s each.
+        assert stats.recovery_time_s == pytest.approx(
+            store.read_time_s(120.0) + 4 * 0.5)
+        assert_identity(stats)
+
+
+class TestUnderCrashRestart:
+    @pytest.mark.parametrize("seed", [7, 19, 42])
+    def test_accounting_identity_under_random_crashes(self, seed):
+        streams = RandomStreams(seed)
+        env = Environment()
+        store = CheckpointStore(env, tier="local", corruption_p=0.05,
+                                rng=streams.get("corrupt"))
+        job = CheckpointedJob(env, work_s=1500.0,
+                              policy=PeriodicCheckpoint(10.0), store=store,
+                              checkpoint_size_mb=100.0, restart_cost_s=2.0)
+        CrashRestart(env, [job], streams.get("crash"),
+                     mtbf_s=200.0, mttr_s=30.0)
+        env.run(until=job.done)
+        stats = job.stats()
+        assert stats.crashes > 0
+        assert_identity(stats)
+        # Progress is never lost past the keep-last window.
+        assert stats.makespan_s < 3000.0
+
+    def test_job_completion_is_durable_against_late_failures(self):
+        # A crash scheduled after completion must not blow up.
+        env = Environment()
+        streams = RandomStreams(0)
+        job = CheckpointedJob(env, work_s=5.0)
+        CrashRestart(env, [job], streams.get("crash"),
+                     mtbf_s=1000.0, mttr_s=1.0)
+        env.run(until=job.done)
+        assert job.stats().makespan_s == pytest.approx(5.0)

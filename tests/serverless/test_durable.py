@@ -1,0 +1,163 @@
+"""Tests for durable workflow execution: journal replay and idempotency."""
+
+import pytest
+
+from repro.faults.models import CrashRestart
+from repro.recovery import Journal
+from repro.serverless import FaaSPlatform, FunctionSpec, PlatformConfig
+from repro.serverless.durable import DurableWorkflowEngine
+from repro.serverless.workflow import FunctionWorkflow
+from repro.sim import Environment, RandomStreams
+
+
+def make_stack(env, functions, append_cost_s=0.05,
+               replay_cost_per_record_s=0.01, restart_cost_s=0.5):
+    platform = FaaSPlatform(env, PlatformConfig(cold_start_s=0.2,
+                                                keep_alive_s=600.0))
+    for name, runtime in functions:
+        platform.deploy(FunctionSpec(name, runtime_s=runtime))
+    journal = Journal(env, append_cost_s=append_cost_s,
+                      replay_cost_per_record_s=replay_cost_per_record_s)
+    engine = DurableWorkflowEngine(env, platform, journal,
+                                   restart_cost_s=restart_cost_s)
+    return platform, journal, engine
+
+
+CHAIN = [(f, 2.0) for f in "abcdef"]
+
+
+def crash_engine(env, engine, at_s, down_s):
+    def driver():
+        yield env.timeout(at_s)
+        engine.fail()
+        yield env.timeout(down_s)
+        engine.repair()
+    env.process(driver())
+
+
+class TestHappyPath:
+    def test_no_crash_runs_like_plain_engine(self):
+        env = Environment()
+        _, journal, engine = make_stack(env, CHAIN)
+        wf = FunctionWorkflow.chain("p", [f for f, _ in CHAIN])
+        run = env.run(until=engine.submit(wf, key="r1"))
+        assert run.succeeded and run.attempts == 1
+        assert run.steps_replayed == 0
+        assert run.invocations_issued == 6
+        assert engine.dedup_suppressed == 0
+        assert journal.appended == 6  # one step_done per step
+        # Every side-effect executed exactly once, even without dedup.
+        assert all(engine.effects[("r1", s)] == 1 for s in wf.functions)
+
+
+class TestCrashRecovery:
+    def test_replay_skips_durably_journaled_steps(self):
+        env = Environment()
+        _, journal, engine = make_stack(env, CHAIN)
+        wf = FunctionWorkflow.chain("p", [f for f, _ in CHAIN])
+        done = engine.submit(wf, key="r1")
+        # Steps finish at ~2.2s intervals; crash at 7.0 is mid-step-4
+        # with steps 0-2 durably journaled.
+        crash_engine(env, engine, at_s=7.0, down_s=5.0)
+        run = env.run(until=done)
+        assert run.succeeded
+        assert run.attempts == 2
+        assert run.orchestrator_crashes == 1
+        assert run.steps_replayed == 3
+        # 6 firsts + 1 re-execution of the in-flight step.
+        assert run.invocations_issued == 7
+
+    def test_effectively_once_despite_at_least_once(self):
+        env = Environment()
+        _, _, engine = make_stack(env, CHAIN)
+        wf = FunctionWorkflow.chain("p", [f for f, _ in CHAIN])
+        done = engine.submit(wf, key="r1")
+        crash_engine(env, engine, at_s=7.0, down_s=5.0)
+        env.run(until=done)
+        run = engine.runs[0]
+        # At-least-once: the in-flight step's function ran twice.
+        assert max(engine.effects.values()) == 2
+        # Idempotency dedup absorbs exactly the duplicates...
+        assert engine.dedup_suppressed == run.invocations_issued - len(wf)
+        # ...so effectively-once end to end.
+        assert all(engine.effective_effect_count("r1", s) == 1
+                   for s in wf.functions)
+
+    def test_journal_saves_equal_replayed_steps(self):
+        # The acceptance identity: re-invocations saved by the journal
+        # are exactly the steps it replayed.
+        env = Environment()
+        _, _, engine = make_stack(env, CHAIN)
+        wf = FunctionWorkflow.chain("p", [f for f, _ in CHAIN])
+        done = engine.submit(wf, key="r1")
+        crash_engine(env, engine, at_s=7.0, down_s=5.0)
+        env.run(until=done)
+        run = engine.runs[0]
+        # Without the journal, attempt 2 would re-invoke all 6 steps;
+        # with it, it issued (6 - replayed) + nothing extra.
+        reissued = run.invocations_issued - len(wf)
+        assert reissued == (len(wf) - run.steps_replayed
+                            - 2)  # 2 steps hadn't started at the crash
+        assert run.steps_replayed == 3
+
+    def test_crash_in_durability_window_reexecutes_step(self):
+        env = Environment()
+        # Huge append cost: records never durable before the crash.
+        _, _, engine = make_stack(env, CHAIN, append_cost_s=100.0)
+        wf = FunctionWorkflow.chain("p", [f for f, _ in CHAIN[:3]])
+        done = engine.submit(wf, key="r1")
+        crash_engine(env, engine, at_s=5.0, down_s=2.0)
+        run = env.run(until=done)
+        assert run.succeeded
+        # Nothing was durable: zero replays, completed steps re-ran.
+        assert run.steps_replayed == 0
+        assert engine.dedup_suppressed > 0
+        assert all(engine.effective_effect_count("r1", s) == 1
+                   for s in wf.functions)
+
+    def test_two_crashes_still_terminate(self):
+        env = Environment()
+        _, _, engine = make_stack(env, CHAIN)
+        wf = FunctionWorkflow.chain("p", [f for f, _ in CHAIN])
+
+        def driver():
+            yield env.timeout(5.0)
+            engine.fail()
+            yield env.timeout(2.0)
+            engine.repair()
+            yield env.timeout(3.0)
+            engine.fail()
+            yield env.timeout(2.0)
+            engine.repair()
+        env.process(driver())
+        run = env.run(until=engine.submit(wf, key="r1"))
+        assert run.succeeded
+        assert run.orchestrator_crashes == 2
+        assert run.attempts == 3
+        assert all(engine.effective_effect_count("r1", s) == 1
+                   for s in wf.functions)
+
+
+class TestUnderCrashRestart:
+    @pytest.mark.parametrize("seed", [7, 19, 42])
+    def test_effectively_once_under_random_crashes(self, seed):
+        streams = RandomStreams(seed)
+        env = Environment()
+        _, _, engine = make_stack(env, CHAIN)
+        CrashRestart(env, [engine], streams.get("orchestrator-crash"),
+                     mtbf_s=15.0, mttr_s=3.0)
+        wf = FunctionWorkflow.chain("p", [f for f, _ in CHAIN])
+        run = env.run(until=engine.submit(wf, key=f"r{seed}"))
+        assert run.succeeded
+        assert all(engine.effective_effect_count(f"r{seed}", s) == 1
+                   for s in wf.functions)
+        # Dedup absorbed every duplicate execution.
+        raw = sum(engine.effects.values())
+        assert raw - len(wf) == engine.dedup_suppressed
+
+    def test_undeployed_function_rejected(self):
+        env = Environment()
+        _, _, engine = make_stack(env, [("a", 1.0)])
+        wf = FunctionWorkflow.chain("c", ["a", "ghost"])
+        with pytest.raises(KeyError):
+            engine.submit(wf, key="r1")

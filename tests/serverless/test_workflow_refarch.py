@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.faults.models import TransientErrorModel
+from repro.faults.policies import RetryPolicy
 from repro.serverless import (
     FaaSPlatform,
     FunctionSpec,
@@ -12,7 +14,7 @@ from repro.serverless import (
     platform_coverage,
 )
 from repro.serverless.refarch import layer_coverage, missing_components
-from repro.sim import Environment
+from repro.sim import Environment, RandomStreams
 
 
 def platform_with(env, functions, **config_kwargs):
@@ -113,6 +115,64 @@ class TestWorkflowEngine:
         env.run(until=env.process(scenario(env, engine, wf)))
         assert len(engine.runs) == 2
         assert all(r.finish_time is not None for r in engine.runs)
+
+
+class TestWorkflowFailureSemantics:
+    """Regression: a step that exhausts its retries must fail the
+    workflow deterministically — downstream steps skipped, engine never
+    hung — instead of being silently counted as a success."""
+
+    def failing_platform(self, env, functions, max_attempts=2):
+        streams = RandomStreams(0)
+        platform = FaaSPlatform(
+            env, PlatformConfig(cold_start_s=0.0),
+            fault_model=TransientErrorModel(streams.get("faults"),
+                                            error_rate=1.0),
+            retry_policy=RetryPolicy(max_attempts=max_attempts,
+                                     base_delay_s=0.01, multiplier=2.0,
+                                     max_delay_s=0.1, jitter=0.0),
+            retry_rng=streams.get("retry"))
+        for name, runtime in functions:
+            platform.deploy(FunctionSpec(name, runtime_s=runtime))
+        return platform
+
+    def test_exhausted_retries_fail_chain_and_skip_downstream(self):
+        env = Environment()
+        platform = self.failing_platform(env, [("a", 0.5), ("b", 0.5)])
+        engine = WorkflowEngine(env, platform)
+        wf = FunctionWorkflow.chain("c", ["a", "b"])
+        run = env.run(until=engine.submit(wf))
+        assert run.status == "failed"
+        assert not run.succeeded
+        assert run.failed_steps == {"s0"}
+        assert run.skipped_steps == {"s1"}
+        assert run.finish_time is not None  # terminated, not hung
+        assert run.invocations["s0"].attempts == 2  # retries exhausted
+        assert "s1" not in run.invocations  # never invoked
+
+    def test_fan_out_head_failure_skips_every_branch(self):
+        env = Environment()
+        platform = self.failing_platform(
+            env, [("head", 0.5), ("work", 0.5), ("tail", 0.5)])
+        engine = WorkflowEngine(env, platform)
+        wf = FunctionWorkflow.fan_out_fan_in("m", "head", ["work"] * 4,
+                                             "tail")
+        run = env.run(until=engine.submit(wf))
+        assert run.status == "failed"
+        assert run.failed_steps == {"head"}
+        assert run.skipped_steps == {"m0", "m1", "m2", "m3", "tail"}
+        assert len(run.invocations) == 1
+
+    def test_successful_run_reports_completed(self):
+        env = Environment()
+        platform = platform_with(env, [("a", 0.5), ("b", 0.5)],
+                                 cold_start_s=0.0)
+        engine = WorkflowEngine(env, platform)
+        wf = FunctionWorkflow.chain("c", ["a", "b"])
+        run = env.run(until=engine.submit(wf))
+        assert run.status == "completed"
+        assert run.succeeded
+        assert not run.failed_steps and not run.skipped_steps
 
 
 class TestFaaSReferenceArchitecture:
