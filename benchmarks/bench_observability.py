@@ -1,0 +1,68 @@
+"""PR-5 — observability-layer overhead: what does measuring cost?
+
+The vision's "measure everything" stance only holds if instrumentation
+is cheap. Three questions, one table:
+
+1. What do spans + a shared metrics registry add to a bare domain run?
+2. What does the installed profiler add per dispatch?
+3. How fast do trace serialization and digesting scale with span count?
+"""
+
+import time
+
+from repro.faults.chaos import run_serverless_scenario
+from repro.observability import MetricsRegistry, SimProfiler, Tracer
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_instrumentation_overhead(benchmark, report, table):
+    kwargs = dict(seed=211, error_rate=0.15, retry=True, n_invocations=800)
+
+    def run_all():
+        out = {}
+        out["bare"] = _timed(lambda: run_serverless_scenario(**kwargs))
+
+        tracer, registry = Tracer(name="bench"), MetricsRegistry()
+        out["traced"] = _timed(lambda: run_serverless_scenario(
+            tracer=tracer, registry=registry, **kwargs))
+        out["_tracer"] = tracer
+
+        profiler = SimProfiler()
+        with profiler:
+            out["profiled"] = _timed(lambda: run_serverless_scenario(**kwargs))
+        out["_profiler"] = profiler
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    tracer = results.pop("_tracer")
+    profiler = results.pop("_profiler")
+    serialized, json_s = _timed(tracer.to_json)
+    _, digest_s = _timed(tracer.digest)
+
+    bare_s = max(results["bare"][1], 1e-9)
+    rows = []
+    for name, (outcome, wall_s) in results.items():
+        rows.append([name, f"{wall_s * 1000:.1f} ms",
+                     f"{wall_s / bare_s:.2f}x",
+                     f"{outcome['slo_attainment']:.3f}"])
+    rows.append(["serialize+digest",
+                 f"{(json_s + digest_s) * 1000:.2f} ms",
+                 f"{len(tracer.spans)} spans",
+                 f"{len(serialized) / 1024:.0f} KiB"])
+    report("observability_overhead",
+           "PR-5: span/metric/profiler overhead on a serverless run",
+           table(["scenario", "wall clock", "vs bare", "SLO / detail"], rows))
+
+    # Instrumentation must never change behavior, only record it.
+    assert results["traced"][0]["slo_attainment"] == \
+        results["bare"][0]["slo_attainment"]
+    assert len(tracer.spans) == kwargs["n_invocations"]
+    # ...and must stay cheap enough to leave on (generous CI-noise slack).
+    assert results["traced"][1] < 10 * bare_s
+    assert results["profiled"][1] < 10 * bare_s
+    assert profiler.dispatches > 0

@@ -8,16 +8,48 @@ availability/SLO table. The headline: faults without policies measurably
 degrade the SLO; retry and requeue buy it back at a bounded cost in
 billed duplicate work and wasted core-seconds.
 
-Run:  PYTHONPATH=src python examples/chaos_experiment.py
+Run:  PYTHONPATH=src python examples/chaos_experiment.py [--profile]
 """
+
+import argparse
+import sys
 
 from repro.faults.chaos import run_chaos_matrix
 
 
+def _argv():
+    """Real CLI args, or none when run under a test harness.
+
+    The examples smoke test executes this file via ``runpy`` inside
+    pytest, where ``sys.argv`` belongs to pytest — parse no args there.
+    """
+    if "pytest" in sys.modules:
+        return []
+    return sys.argv[1:]
+
+
 def main():
-    report = run_chaos_matrix(seed=42,
-                              serverless_error_rates=(0.0, 0.15, 0.3),
-                              scheduling_mtbfs=(None, 500.0))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the matrix run and print wall-clock "
+                             "attribution per process / event kind")
+    args = parser.parse_args(_argv())
+
+    profiler = None
+    if args.profile:
+        from repro.observability import SimProfiler
+        profiler = SimProfiler()
+
+    def run():
+        return run_chaos_matrix(seed=42,
+                                serverless_error_rates=(0.0, 0.15, 0.3),
+                                scheduling_mtbfs=(None, 500.0))
+
+    if profiler is not None:
+        with profiler:
+            report = run()
+    else:
+        report = run()
     print(report.format())
 
     base = report.cell("serverless", "none", "none")
@@ -27,6 +59,10 @@ def main():
           f"{worst.slo_attainment:.3f} under 30% faults, "
           f"{cured.slo_attainment:.3f} with retry "
           f"(mean {cured.details['mean_attempts']:.2f} attempts billed)")
+
+    if profiler is not None:
+        print()
+        print(profiler.report(top=8))
 
 
 if __name__ == "__main__":

@@ -82,13 +82,26 @@ class _RunningTask:
 
 def run_autoscaling_experiment(workflows: Sequence[Workflow],
                                autoscaler: Autoscaler,
-                               config: Optional[ExperimentConfig] = None
+                               config: Optional[ExperimentConfig] = None,
+                               tracer=None, registry=None
                                ) -> AutoscalingResult:
     """Replay the workload under one autoscaler."""
     config = config or ExperimentConfig()
     if not workflows:
         raise ValueError("no workflows to run")
     workflows = sorted(workflows, key=lambda w: w.submit_time)
+    # Time-stepped replay (no DES environment): observability carries
+    # explicit times — the replay clock ``t`` below.
+    monitor = None
+    if registry is not None:
+        from repro.sim import Monitor
+        monitor = Monitor(registry=registry, namespace="autoscaling")
+    root_span = None
+    wf_spans: dict[int, object] = {}
+    if tracer is not None:
+        root_span = tracer.start_span(
+            "autoscaling.experiment", t=workflows[0].submit_time,
+            autoscaler=autoscaler.name, workflows=len(workflows))
     deadlines = {
         wf.job_id: wf.submit_time
         + config.deadline_factor * wf.critical_path_work()
@@ -112,7 +125,14 @@ def run_autoscaling_experiment(workflows: Sequence[Workflow],
         # Arrivals.
         while (next_arrival < len(workflows)
                and workflows[next_arrival].submit_time <= t):
-            arrived.append(workflows[next_arrival])
+            wf = workflows[next_arrival]
+            arrived.append(wf)
+            if tracer is not None:
+                # Tag the arrival ordinal, not wf.job_id: job ids come
+                # from a process-global counter.
+                wf_spans[wf.job_id] = tracer.start_span(
+                    "autoscaling.workflow", parent=root_span, t=t,
+                    workflow=next_arrival, tasks=len(wf.tasks))
             next_arrival += 1
 
         # Apply matured provisioning decisions.
@@ -149,6 +169,9 @@ def run_autoscaling_experiment(workflows: Sequence[Workflow],
         supply_series.append(supply)
         times.append(t)
         demand_history.append(demand)
+        if monitor is not None:
+            monitor.record("demand_cores", demand, time=t)
+            monitor.record("supply_cores", supply, time=t)
 
         # Progress running tasks.
         still_running: list[_RunningTask] = []
@@ -164,9 +187,11 @@ def run_autoscaling_experiment(workflows: Sequence[Workflow],
         # Completion bookkeeping.
         for wf in arrived:
             if wf.job_id not in finished_wf and wf.done:
-                finished_wf[wf.job_id] = (
-                    max(task.finish_time for task in wf.tasks)
-                    - wf.submit_time)
+                finish_t = max(task.finish_time for task in wf.tasks)
+                finished_wf[wf.job_id] = finish_t - wf.submit_time
+                span = wf_spans.pop(wf.job_id, None)
+                if span is not None:
+                    tracer.end_span(span, t=finish_t)
 
         if (next_arrival >= len(workflows)
                 and len(finished_wf) == len(workflows)):
@@ -217,6 +242,10 @@ def run_autoscaling_experiment(workflows: Sequence[Workflow],
     price = config.cost_model.price_per_hour
     cost_continuous = resource_seconds / 3600.0 * price
     cost_hourly = math.ceil(resource_seconds / 3600.0) * price
+    if monitor is not None:
+        monitor.count("deadline_violations", amount=violations)
+    if root_span is not None:
+        tracer.end_span(root_span, t=t, violations=violations)
     return AutoscalingResult(
         autoscaler=autoscaler.name,
         times=np.asarray(times),

@@ -65,7 +65,8 @@ def run_serverless_scenario(seed: int = 0, error_rate: float = 0.0,
                             n_invocations: int = 300,
                             rate_per_s: float = 2.0,
                             runtime_s: float = 0.5,
-                            slo_s: float = 2.5) -> dict:
+                            slo_s: float = 2.5,
+                            tracer=None, registry=None) -> dict:
     """Open-loop Poisson traffic against a FaaS platform whose invocations
     fail transiently; the platform may retry with exponential backoff."""
     streams = RandomStreams(seed)
@@ -79,7 +80,8 @@ def run_serverless_scenario(seed: int = 0, error_rate: float = 0.0,
     platform = FaaSPlatform(
         env, PlatformConfig(cold_start_s=0.5, keep_alive_s=600.0),
         fault_model=fault_model, retry_policy=retry_policy,
-        retry_rng=streams.get("retry-jitter"))
+        retry_rng=streams.get("retry-jitter"),
+        tracer=tracer, registry=registry)
     platform.deploy(FunctionSpec("f", runtime_s=runtime_s, memory_gb=0.5))
     arrivals = streams.get("serverless-arrivals")
 
@@ -115,7 +117,8 @@ def run_overload_scenario(seed: int = 0, admission: bool = False,
                           queue_capacity: int = 64,
                           admit_rate_per_s: float = 36.0,
                           admit_burst: float = 16.0,
-                          slo_s: float = 1.0) -> dict:
+                          slo_s: float = 1.0,
+                          tracer=None, registry=None) -> dict:
     """A flash crowd against a capacity-capped FaaS platform.
 
     Offered load (``rate_per_s``) exceeds capacity
@@ -147,7 +150,8 @@ def run_overload_scenario(seed: int = 0, admission: bool = False,
                        concurrency_limit=concurrency_limit,
                        prewarmed=concurrency_limit,
                        queue_capacity=queue_capacity),
-        admitter=admitter, shedder=shedder, brownout=brownout)
+        admitter=admitter, shedder=shedder, brownout=brownout,
+        tracer=tracer, registry=registry)
     platform.deploy(FunctionSpec("f", runtime_s=runtime_s, memory_gb=0.5))
     arrivals = streams.get("overload-arrivals")
 
@@ -243,7 +247,8 @@ def run_scheduling_scenario(seed: int = 0, mtbf_s: Optional[float] = None,
                             n_tasks: int = 120,
                             n_machines: int = 8,
                             health_aware: bool = False,
-                            heartbeat_interval_s: float = 1.0) -> dict:
+                            heartbeat_interval_s: float = 1.0,
+                            tracer=None, registry=None) -> dict:
     """A bag of tasks on a crashing cluster. Without requeue, work killed
     by a crash is lost (goodput drops); with requeue it restarts elsewhere.
 
@@ -270,7 +275,8 @@ def run_scheduling_scenario(seed: int = 0, mtbf_s: Optional[float] = None,
                              is_up=lambda m=machine: m.is_up)
     sim = ClusterSimulator(env, cluster, FCFSPolicy(),
                            failure_mode="requeue" if requeue else "drop",
-                           health=detector)
+                           health=detector,
+                           tracer=tracer, registry=registry)
     injector = None
     if mtbf_s is not None:
         injector = FailureInjector(
@@ -315,7 +321,8 @@ def run_recovery_scenario(seed: int = 0, policy: str = "daly",
                           interval_s: Optional[float] = None,
                           corruption_p: float = 0.0,
                           restart_cost_s: float = 2.0,
-                          keep_last: int = 3) -> dict:
+                          keep_last: int = 3,
+                          tracer=None, registry=None) -> dict:
     """One long job under ``CrashRestart``, with a checkpoint policy on/off.
 
     ``policy`` selects the recovery stance: ``"none"`` restarts from
@@ -347,10 +354,17 @@ def run_recovery_scenario(seed: int = 0, policy: str = "daly",
         else:
             ckpt_policy = AdaptiveCheckpoint(cost_s,
                                              initial_mtbf_s=4.0 * mtbf_s)
+    monitor = None
+    if registry is not None:
+        from repro.sim import Monitor
+        monitor = Monitor(env, registry=registry, namespace="recovery")
+    if tracer is not None and tracer.env is None:
+        tracer.bind(env)
     job = CheckpointedJob(env, work_s=work_s, policy=ckpt_policy,
                           store=store,
                           checkpoint_size_mb=checkpoint_size_mb,
-                          restart_cost_s=restart_cost_s, name="recovery")
+                          restart_cost_s=restart_cost_s, name="recovery",
+                          monitor=monitor, tracer=tracer)
     crash = CrashRestart(env, [job], crash_rng,
                          mtbf_s=mtbf_s, mttr_s=mttr_s, name="recovery-crash")
     env.run(until=job.done)

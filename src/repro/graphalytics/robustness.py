@@ -141,7 +141,8 @@ def run_supersteps_with_recovery(
         checkpoint_size_mb: float = 200.0,
         restart_cost_s: float = 1.0,
         algorithm: str = "pagerank",
-        env: Optional[Environment] = None) -> SuperstepRecoveryResult:
+        env: Optional[Environment] = None,
+        tracer=None, registry=None) -> SuperstepRecoveryResult:
     """Run an iterative kernel under crashes with superstep checkpointing.
 
     The kernel is BSP: state is only consistent at superstep barriers, so
@@ -155,15 +156,31 @@ def run_supersteps_with_recovery(
     if superstep_s <= 0:
         raise ValueError("superstep_s must be positive")
     env = env or Environment()
+    span = None
+    if tracer is not None:
+        if tracer.env is None:
+            tracer.bind(env)
+        span = tracer.start_span("graphalytics.supersteps",
+                                 algorithm=algorithm,
+                                 n_supersteps=n_supersteps)
+    monitor = None
+    if registry is not None:
+        from repro.sim import Monitor
+        monitor = Monitor(env, registry=registry, namespace="graphalytics")
     job = CheckpointedJob(
         env, work_s=n_supersteps * superstep_s,
         policy=policy, store=store, quantum_s=superstep_s,
         checkpoint_size_mb=checkpoint_size_mb,
-        restart_cost_s=restart_cost_s, name=algorithm)
+        restart_cost_s=restart_cost_s, name=algorithm,
+        monitor=monitor, tracer=tracer, span_parent=span)
     CrashRestart(env, [job], rng, mtbf_s=mtbf_s, mttr_s=mttr_s,
                  name=f"{algorithm}-crash")
     env.run(until=job.done)
     stats = job.stats()
+    if span is not None:
+        tracer.end_span(span, crashes=stats.crashes,
+                        lost_supersteps=int(round(stats.lost_work_s
+                                                  / superstep_s)))
     return SuperstepRecoveryResult(
         algorithm=algorithm,
         n_supersteps=n_supersteps,

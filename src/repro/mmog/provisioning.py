@@ -120,7 +120,8 @@ def run_provisioning(demand: Sequence[float],
                      step_s: float = 300.0,
                      provisioning_delay_steps: int = 2,
                      headroom: float = 1.1,
-                     min_servers: int = 1) -> ProvisioningResult:
+                     min_servers: int = 1,
+                     tracer=None, registry=None) -> ProvisioningResult:
     """Replay a demand signal against a prediction-driven policy.
 
     At each step the policy predicts demand ``provisioning_delay_steps``
@@ -134,6 +135,16 @@ def run_provisioning(demand: Sequence[float],
         raise ValueError("headroom must be >= 1.0")
     demand_arr = np.asarray(demand, dtype=float)
     n = demand_arr.size
+    # This domain is time-stepped (no DES environment), so spans and
+    # metric samples carry explicit times: step i happens at i * step_s.
+    monitor = None
+    if registry is not None:
+        from repro.sim import Monitor
+        monitor = Monitor(registry=registry, namespace="mmog")
+    span = None
+    if tracer is not None:
+        span = tracer.start_span("mmog.provisioning", t=0.0,
+                                 predictor=predictor.name, steps=n)
     provisioned = np.zeros(n)
     pending: list[tuple[int, int]] = []  # (effective_step, target)
     current = min_servers
@@ -142,14 +153,22 @@ def run_provisioning(demand: Sequence[float],
         for at, target in list(pending):
             if at <= i:
                 current = target
+                if span is not None:
+                    tracer.add_event(span, "resize", t=i * step_s,
+                                     servers=target)
                 pending.remove((at, target))
         provisioned[i] = current
+        if monitor is not None:
+            monitor.record("demand", float(demand_arr[i]), time=i * step_s)
+            monitor.record("provisioned", current, time=i * step_s)
         prediction = predictor.predict(demand_arr[: i + 1],
                                        horizon=provisioning_delay_steps)
         target = max(min_servers,
                      math.ceil(prediction * headroom / players_per_server))
         pending.append((i + provisioning_delay_steps, target))
     server_hours = float(provisioned.sum() * step_s / 3600.0)
+    if span is not None:
+        tracer.end_span(span, t=n * step_s, server_hours=server_hours)
     return ProvisioningResult(
         predictor=predictor.name, players_per_server=players_per_server,
         step_s=step_s, demand=demand_arr, provisioned=provisioned,
@@ -203,7 +222,8 @@ def run_brownout_provisioning(
         degraded_capacity_factor: float = 1.5,
         critical_capacity_factor: float = 2.0,
         fidelity_degraded: float = 0.6,
-        fidelity_critical: float = 0.35) -> BrownoutProvisioningResult:
+        fidelity_critical: float = 0.35,
+        tracer=None, registry=None) -> BrownoutProvisioningResult:
     """Prediction-driven provisioning with brownout while elasticity lags.
 
     The elastic fleet still takes ``provisioning_delay_steps`` to grow —
@@ -231,18 +251,37 @@ def run_brownout_provisioning(
     base = run_provisioning(
         demand, predictor, players_per_server=players_per_server,
         step_s=step_s, provisioning_delay_steps=provisioning_delay_steps,
-        headroom=headroom, min_servers=min_servers)
+        headroom=headroom, min_servers=min_servers,
+        tracer=tracer, registry=registry)
+    monitor = None
+    if registry is not None:
+        from repro.sim import Monitor
+        monitor = Monitor(registry=registry, namespace="mmog")
     n = base.demand.size
+    span = None
+    if tracer is not None:
+        span = tracer.start_span("mmog.brownout", t=0.0,
+                                 predictor=predictor.name, steps=n)
     modes = np.zeros(n, dtype=int)
     effective = np.zeros(n)
     fidelity = np.ones(n)
     refused = 0.0
     unserved_eff = 0.0
+    prev_mode = 0
     for i in range(n):
         nominal_cap = base.provisioned[i] * players_per_server
         pressure = base.demand[i] / nominal_cap if nominal_cap > 0 else 1.0
         mode = controller.observe(pressure, now=i * step_s)
         modes[i] = mode.value
+        if span is not None and mode.value != prev_mode:
+            tracer.add_event(span, "mode_change", t=i * step_s,
+                             mode=mode.name)
+        prev_mode = mode.value
+        if monitor is not None:
+            monitor.record("fidelity",
+                           (fidelity_critical if mode.value >= 2 else
+                            fidelity_degraded if mode.value == 1 else 1.0),
+                           time=i * step_s)
         if mode.value >= 2:  # CRITICAL
             factor, fid = critical_capacity_factor, fidelity_critical
         elif mode.value == 1:  # DEGRADED
@@ -257,6 +296,11 @@ def run_brownout_provisioning(
         else:
             unserved_eff += excess * step_s
     controller.finish(n * step_s)
+    if monitor is not None and refused > 0:
+        monitor.count("refused_player_time_s", amount=int(refused))
+    if span is not None:
+        tracer.end_span(span, t=n * step_s,
+                        degraded_steps=int(np.sum(modes > 0)))
     return BrownoutProvisioningResult(
         predictor=f"{base.predictor}+brownout",
         players_per_server=players_per_server, step_s=step_s,

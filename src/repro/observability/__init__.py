@@ -1,0 +1,48 @@
+"""Observability for scenario runs: spans, metrics, and the sim profiler.
+
+The paper's decade of design experiments all rest on *measuring* running
+ecosystems; this package is the unified way to see what a scenario did:
+
+- :class:`Tracer` / :class:`Span` — structured, hierarchical tracing in
+  sim time with deterministic serialization and a content digest
+  (the substrate of the golden-trace regression harness in
+  :mod:`repro.observability.golden`);
+- :class:`MetricsRegistry` — namespaced metrics
+  (``serverless.invocations.shed``) with labels, absorbed from the
+  per-domain :class:`~repro.sim.Monitor` instances, exported
+  Prometheus-style;
+- :class:`SimProfiler` — wall-clock and event-count attribution per
+  process and per event kind, for the ``--profile`` report.
+
+Submodules :mod:`~repro.observability.scenarios` (canonical small
+scenarios per domain) and :mod:`~repro.observability.golden` (the
+golden-trace corpus tooling, also a CLI:
+``python -m repro.observability.golden --update``) import the domain
+packages and are therefore *not* re-exported here — import them
+explicitly.
+"""
+
+from repro.observability.profiler import ProfileEntry, SimProfiler
+from repro.observability.registry import (
+    METRIC_NAME_RE,
+    MetricsRegistry,
+    metric_name,
+)
+from repro.observability.trace import (
+    Span,
+    SpanEvent,
+    TRACE_FORMAT_VERSION,
+    Tracer,
+)
+
+__all__ = [
+    "METRIC_NAME_RE",
+    "MetricsRegistry",
+    "ProfileEntry",
+    "SimProfiler",
+    "Span",
+    "SpanEvent",
+    "TRACE_FORMAT_VERSION",
+    "Tracer",
+    "metric_name",
+]

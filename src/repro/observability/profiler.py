@@ -1,0 +1,163 @@
+"""The sim profiler: wall-clock attribution for simulation hot paths.
+
+The ROADMAP's "fast as the hardware allows" goal needs to know *where*
+host time goes before any perf PR can claim a win. The profiler hooks
+:meth:`repro.sim.Environment.step` (via ``Environment.profiled``) and
+attributes real wall-clock time two ways:
+
+- per **event kind** (``Timeout``, ``Process``, ``Initialize``, ...):
+  how many dispatches of each kind, and how much host time their
+  callbacks burned;
+- per **process** (by generator name, e.g. ``_execute``, ``driver``,
+  ``_reaper``): how many resumes each process function received and how
+  much host time they cost — the "top-N hot processes" of the
+  ``--profile`` report.
+
+Reading the wall clock is exactly what sim code must never do (simlint
+SL002) — the profiler is the measurement instrument, not sim logic, and
+nothing it observes feeds back into simulated behavior, so the reads
+are inline-disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ProfileEntry", "SimProfiler"]
+
+
+@dataclass
+class ProfileEntry:
+    """One attribution bucket: dispatch/resume count and wall seconds."""
+
+    name: str
+    count: int = 0
+    wall_s: float = 0.0
+
+    def add(self, dt: float) -> None:
+        self.count += 1
+        self.wall_s += dt
+
+
+@dataclass
+class ProfileReport:
+    """A rendered snapshot of the profiler (see :meth:`SimProfiler.report`)."""
+
+    wall_s: float
+    dispatches: int
+    by_kind: list[ProfileEntry] = field(default_factory=list)
+    by_process: list[ProfileEntry] = field(default_factory=list)
+
+    @property
+    def events_per_s(self) -> float:
+        return self.dispatches / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class SimProfiler:
+    """Collects wall-clock attribution from profiled environments.
+
+    Use as a context manager (it installs itself process-wide via
+    :meth:`repro.sim.Environment.profiled` and times the block)::
+
+        profiler = SimProfiler()
+        with profiler:
+            run_overload_scenario(seed=7)
+        print(profiler.report(top=10))
+    """
+
+    def __init__(self):
+        self.kinds: dict[str, ProfileEntry] = {}
+        self.processes: dict[str, ProfileEntry] = {}
+        self.dispatches = 0
+        #: Wall seconds spent inside profiled event callbacks.
+        self.callback_wall_s = 0.0
+        #: Wall seconds of the profiled block (enter to exit).
+        self.wall_s = 0.0
+        self._block_t0: Optional[float] = None
+        self._ctx = None
+
+    # -- the clock (the one sanctioned wall-clock read) --------------------
+    @staticmethod
+    def clock() -> float:
+        return time.perf_counter()  # simlint: disable=SL002
+
+    # -- Environment.step hooks --------------------------------------------
+    def account_dispatch(self, kind: str, dt: float) -> None:
+        entry = self.kinds.get(kind)
+        if entry is None:
+            entry = self.kinds[kind] = ProfileEntry(kind)
+        entry.add(dt)
+        self.dispatches += 1
+        self.callback_wall_s += dt
+
+    def account_callback(self, callback, dt: float) -> None:
+        owner = getattr(callback, "__self__", None)
+        generator = getattr(owner, "_generator", None)
+        if generator is None:
+            return  # not a process resume (e.g. a Condition check)
+        name = getattr(generator, "__name__", type(owner).__name__)
+        entry = self.processes.get(name)
+        if entry is None:
+            entry = self.processes[name] = ProfileEntry(name)
+        entry.add(dt)
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "SimProfiler":
+        from repro.sim import Environment
+        self._block_t0 = self.clock()
+        self._ctx = Environment.profiled(self)
+        self._ctx.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self._ctx.__exit__(exc_type, exc_val, exc_tb)
+        self._ctx = None
+        self.wall_s += self.clock() - self._block_t0
+        self._block_t0 = None
+
+    # -- reporting ---------------------------------------------------------
+    def events_per_s(self) -> float:
+        return self.dispatches / self.wall_s if self.wall_s > 0 else 0.0
+
+    def top_processes(self, n: int = 10) -> list[ProfileEntry]:
+        return sorted(self.processes.values(),
+                      key=lambda e: (-e.wall_s, e.name))[:n]
+
+    def top_kinds(self, n: int = 10) -> list[ProfileEntry]:
+        return sorted(self.kinds.values(),
+                      key=lambda e: (-e.wall_s, e.name))[:n]
+
+    def snapshot(self) -> ProfileReport:
+        return ProfileReport(
+            wall_s=self.wall_s,
+            dispatches=self.dispatches,
+            by_kind=self.top_kinds(n=len(self.kinds)),
+            by_process=self.top_processes(n=len(self.processes)),
+        )
+
+    def report(self, top: int = 10) -> str:
+        """The ``--profile`` report: totals, hot processes, event kinds."""
+        lines = [
+            f"sim profile: {self.dispatches} dispatches in "
+            f"{self.wall_s:.3f}s wall "
+            f"({self.events_per_s():,.0f} events/s), "
+            f"{self.callback_wall_s:.3f}s in callbacks",
+            "",
+            f"top {top} processes by wall time:",
+            f"  {'process':<28}{'resumes':>10}{'wall s':>10}{'us/resume':>12}",
+        ]
+        for entry in self.top_processes(top):
+            per = entry.wall_s / entry.count * 1e6 if entry.count else 0.0
+            lines.append(f"  {entry.name:<28}{entry.count:>10}"
+                         f"{entry.wall_s:>10.4f}{per:>12.1f}")
+        lines += [
+            "",
+            "event kinds:",
+            f"  {'kind':<28}{'dispatches':>10}{'wall s':>10}",
+        ]
+        for entry in self.top_kinds(top):
+            lines.append(f"  {entry.name:<28}{entry.count:>10}"
+                         f"{entry.wall_s:>10.4f}")
+        return "\n".join(lines)

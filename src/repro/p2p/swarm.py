@@ -106,13 +106,24 @@ class Swarm:
 
     def __init__(self, env: Environment, config: SwarmConfig,
                  tracker: Tracker, rng: np.random.Generator,
-                 arrivals: Optional[ArrivalProcess] = None):
+                 arrivals: Optional[ArrivalProcess] = None,
+                 tracer=None, registry=None):
         self.env = env
         self.config = config
         self.tracker = tracker
         self.rng = rng
         self.arrivals = arrivals
-        self.monitor = Monitor(env)
+        self.monitor = Monitor(env, registry=registry, namespace="p2p")
+        #: Optional :class:`~repro.observability.Tracer`: the whole run is
+        #: a ``p2p.swarm`` span; every leecher a ``p2p.download`` child
+        #: (status ok / churned / incomplete).
+        self.tracer = tracer
+        if tracer is not None and tracer.env is None:
+            tracer.bind(env)
+        self._root_span = (tracer.start_span("p2p.swarm",
+                                             torrent=config.content.torrent_id)
+                           if tracer is not None else None)
+        self._peer_spans: dict[int, object] = {}
         self.peers: list[Peer] = []
         self.completed: list[Peer] = []
         self.loss = (MessageLossModel(rng, config.loss_rate)
@@ -141,6 +152,11 @@ class Swarm:
         peer = Peer(peer_class=peer_class, arrival_time=self.env.now,
                     seed_linger_s=self.config.seed_linger_s)
         self.peers.append(peer)
+        if self.tracer is not None:
+            self._peer_spans[id(peer)] = self.tracer.start_span(
+                "p2p.download", parent=self._root_span,
+                peer=len(self.peers) - 1,
+                peer_class=peer.peer_class.name)
         self.tracker.announce(self.config.content.torrent_id, peer, self.rng)
         return peer
 
@@ -215,6 +231,10 @@ class Swarm:
                 peer.is_seed = True
                 peer.completed_at = self.env.now + dt
                 self.completed.append(peer)
+                span = self._peer_spans.pop(id(peer), None)
+                if span is not None:
+                    self.tracer.end_span(span, t=peer.completed_at,
+                                         status="ok")
 
     def _departures(self) -> None:
         now = self.env.now
@@ -234,6 +254,9 @@ class Swarm:
                 peer.departed_at = now
                 self.churned += 1
                 self.monitor.count("churned")
+                span = self._peer_spans.pop(id(peer), None)
+                if span is not None:
+                    self.tracer.end_span(span, status="churned")
                 self.tracker.depart(cfg.content.torrent_id, peer)
 
     def _record(self) -> None:
@@ -246,6 +269,17 @@ class Swarm:
             self.monitor.record("re_requested_mb", self.loss.lost_mb)
 
     def result(self) -> SwarmResult:
+        if self.tracer is not None:
+            # Close what the horizon cut off: leechers still downloading
+            # and the run-root span itself.
+            for peer in self.peers:
+                span = self._peer_spans.pop(id(peer), None)
+                if span is not None:
+                    self.tracer.end_span(span, status="incomplete")
+            if self._root_span is not None and not self._root_span.finished:
+                self.tracer.end_span(self._root_span,
+                                     completed=len(self.completed),
+                                     churned=self.churned)
         return SwarmResult(config=self.config, peers=self.peers,
                            monitor=self.monitor, completed=self.completed)
 
@@ -253,9 +287,11 @@ class Swarm:
 def run_swarm(config: SwarmConfig, tracker: Tracker,
               rng: np.random.Generator,
               arrivals: Optional[ArrivalProcess] = None,
-              env: Optional[Environment] = None) -> SwarmResult:
+              env: Optional[Environment] = None,
+              tracer=None, registry=None) -> SwarmResult:
     """Convenience wrapper: build, run to the horizon, return the result."""
     env = env or Environment()
-    swarm = Swarm(env, config, tracker, rng, arrivals)
+    swarm = Swarm(env, config, tracker, rng, arrivals,
+                  tracer=tracer, registry=registry)
     env.run(until=config.horizon_s)
     return swarm.result()

@@ -74,6 +74,7 @@ class CheckpointedJob:
                  checkpoint_size_mb: float = 100.0,
                  restart_cost_s: float = 0.0,
                  monitor: Optional[Monitor] = None,
+                 tracer=None, span_parent=None,
                  name: str = "job"):
         if work_s <= 0:
             raise ValueError("work_s must be positive")
@@ -97,6 +98,17 @@ class CheckpointedJob:
         self.restart_cost_s = float(restart_cost_s)
         self.monitor = monitor
         self.name = name
+        #: Optional :class:`~repro.observability.Tracer`: the run is a
+        #: ``recovery.job`` span with ``recovery.checkpoint`` /
+        #: ``recovery.restore`` children and ``crash`` events.
+        self.tracer = tracer
+        if tracer is not None and tracer.env is None:
+            tracer.bind(env)
+        self._span = (tracer.start_span("recovery.job", job=name,
+                                        parent=span_parent,
+                                        work_s=self.work_s)
+                      if tracer is not None else None)
+        self._phase_span = None
         #: Durable progress: work covered by the last committed
         #: checkpoint (or 0 until the first one commits).
         self.done_s = 0.0
@@ -152,7 +164,14 @@ class CheckpointedJob:
                 if self._needs_recovery:
                     phase = "recover"
                     phase_t0 = self.env.now
+                    if self.tracer is not None:
+                        self._phase_span = self.tracer.start_span(
+                            "recovery.restore", parent=self._span)
                     yield from self._recover()
+                    if self._phase_span is not None:
+                        self.tracer.end_span(self._phase_span,
+                                             progress=self.done_s)
+                        self._phase_span = None
                     self.recovery_time_s += self.env.now - phase_t0
                     self._needs_recovery = False
                 phase = "work"
@@ -165,9 +184,16 @@ class CheckpointedJob:
                     # partial write: the snapshot commits atomically at
                     # the end of store.save().
                     ckpt_t0 = self.env.now
+                    if self.tracer is not None:
+                        self._phase_span = self.tracer.start_span(
+                            "recovery.checkpoint", parent=self._span,
+                            progress=self.done_s + segment)
                     yield from self.store.save(
                         {"progress": self.done_s + segment},
                         self.checkpoint_size_mb)
+                    if self._phase_span is not None:
+                        self.tracer.end_span(self._phase_span)
+                        self._phase_span = None
                     self.checkpoint_time_s += self.env.now - ckpt_t0
                     self.checkpoints_written += 1
                     if self.journal is not None and len(self.journal):
@@ -176,10 +202,16 @@ class CheckpointedJob:
                         self.journal.truncate(
                             self.journal.records[-1].seq)
                     if self.monitor is not None:
-                        self.monitor.count(f"{self.name}_checkpoints")
+                        self.monitor.count("checkpoints", key=self.name)
                 self.done_s += segment
             except Interrupt:
                 self.crashes += 1
+                if self._phase_span is not None:
+                    self.tracer.end_span(self._phase_span,
+                                         status="interrupted")
+                    self._phase_span = None
+                if self._span is not None:
+                    self.tracer.add_event(self._span, "crash", phase=phase)
                 if self.policy is not None:
                     self.policy.record_failure(self.env.now)
                 if phase == "recover":
@@ -187,7 +219,7 @@ class CheckpointedJob:
                 else:
                     self.lost_work_s += self.env.now - phase_t0
                 if self.monitor is not None:
-                    self.monitor.count(f"{self.name}_crashes")
+                    self.monitor.count("crashes", key=self.name)
                 down_t0 = self.env.now
                 self._repaired = self.env.event()
                 if self._up:
@@ -198,6 +230,10 @@ class CheckpointedJob:
                 self.downtime_s += self.env.now - down_t0
                 self._needs_recovery = True
         self.finished_at = self.env.now
+        if self._span is not None:
+            self.tracer.end_span(self._span, crashes=self.crashes,
+                                 checkpoints=self.checkpoints_written,
+                                 restores=self.restores)
         self.done.succeed(self)
 
     def _recover(self):

@@ -70,14 +70,24 @@ class ClusterSimulator:
                  failure_mode: str = "requeue",
                  health=None, dispatch_timeout_s: float = 5.0,
                  journal: Optional[Journal] = None,
-                 scheduler_restart_cost_s: float = 1.0):
+                 scheduler_restart_cost_s: float = 1.0,
+                 tracer=None, registry=None):
         if failure_mode not in ("requeue", "drop"):
             raise ValueError(
                 f"failure_mode must be 'requeue' or 'drop', got {failure_mode!r}")
         self.env = env
         self.cluster = cluster
         self.policy = policy
-        self.monitor = monitor or Monitor(env)
+        self.monitor = monitor or Monitor(env, registry=registry,
+                                          namespace="scheduling")
+        #: Optional :class:`~repro.observability.Tracer`: every dispatch
+        #: becomes a ``scheduling.task`` span (status ok / killed / dropped
+        #: / misdispatch).
+        self.tracer = tracer
+        if tracer is not None and tracer.env is None:
+            tracer.bind(env)
+        self._spans: dict[int, object] = {}
+        self._span_ordinals: dict[int, int] = {}
         #: Optional failure detector (anything with ``is_suspect(name)``,
         #: e.g. :class:`repro.resilience.PhiAccrualDetector` keyed by
         #: machine name). When set, the scheduler stops reading the
@@ -141,6 +151,22 @@ class ClusterSimulator:
         if self.journal is not None and not self._crashed:
             self._tasks[task.task_id] = task
             self.journal.append(kind, {"task_id": task.task_id})
+
+    def _span_start(self, task: Task, machine: Machine) -> None:
+        if self.tracer is not None:
+            # Tag a per-simulator ordinal, not task.task_id: task ids come
+            # from a process-global counter and would make traces depend
+            # on what else ran in the process.
+            ordinal = self._span_ordinals.setdefault(
+                task.task_id, len(self._span_ordinals))
+            self._spans[task.task_id] = self.tracer.start_span(
+                "scheduling.task", task=ordinal,
+                machine=machine.name, cores=task.cores)
+
+    def _span_end(self, task: Task, status: str) -> None:
+        span = self._spans.pop(task.task_id, None)
+        if span is not None:
+            self.tracer.end_span(span, status=status)
 
     # -- submission -----------------------------------------------------------
     def submit_jobs(self, jobs: Sequence[Job]) -> None:
@@ -285,6 +311,7 @@ class ClusterSimulator:
             task.state = TaskState.RUNNING
             self._limbo[task.task_id] = (task, machine)
             self.monitor.record("queue_length", len(self.ready))
+            self._span_start(task, machine)
             self.env.process(self._misdispatch(task))
             return
         machine.allocate(task.cores, task.memory_gb)
@@ -293,6 +320,7 @@ class ClusterSimulator:
         self.running[task.task_id] = (task, machine, self.env.now)
         self._incarnations[task.task_id] = machine.incarnation
         self.monitor.record("queue_length", len(self.ready))
+        self._span_start(task, machine)
         self._procs[task.task_id] = self.env.process(
             self._execute(task, machine))
 
@@ -302,6 +330,7 @@ class ClusterSimulator:
         self._limbo.pop(task.task_id, None)
         self.misdispatches += 1
         self.monitor.count("misdispatches")
+        self._span_end(task, "misdispatch")
         task.state = TaskState.PENDING
         task.start_time = None
         if self._crashed:
@@ -435,6 +464,7 @@ class ClusterSimulator:
             del self._procs[task.task_id]
             self._incarnations.pop(task.task_id, None)
             if self.failure_mode == "drop":
+                self._span_end(task, "dropped")
                 task.state = TaskState.FAILED
                 task.start_time = None
                 self.failed.append(task)
@@ -442,10 +472,12 @@ class ClusterSimulator:
             elif self._crashed:
                 # A machine died while the scheduler was down: the victim
                 # has no scheduler to requeue it — orphaned until recovery.
+                self._span_end(task, "killed")
                 task.state = TaskState.PENDING
                 task.start_time = None
                 self._orphaned.append(task)
             else:
+                self._span_end(task, "killed")
                 task.state = TaskState.PENDING
                 task.start_time = None
                 self.restarts += 1
@@ -460,6 +492,7 @@ class ClusterSimulator:
         task.finish_time = self.env.now
         del self.running[task.task_id]
         self._procs.pop(task.task_id, None)
+        self._span_end(task, "ok")
         if self._crashed:
             # The task finished on its machine, but the completion report
             # went to a dead scheduler; recovery reconciles it — the task

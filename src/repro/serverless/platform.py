@@ -111,7 +111,8 @@ class FaaSPlatform:
                  retry_rng: Optional[np.random.Generator] = None,
                  admitter: Optional[TokenBucketAdmitter] = None,
                  shedder: Optional[CoDelShedder] = None,
-                 brownout: Optional[BrownoutController] = None):
+                 brownout: Optional[BrownoutController] = None,
+                 tracer=None, registry=None):
         self.env = env
         self.config = config or PlatformConfig()
         #: Optional per-attempt transient failure model (chaos experiments).
@@ -137,7 +138,14 @@ class FaaSPlatform:
         self._queues: dict[str, BoundedQueue] = {}
         self._ids = count()
         self.invocations: list[Invocation] = []
-        self.monitor = Monitor(env)
+        #: Optional :class:`~repro.observability.Tracer`: every invocation
+        #: becomes a ``serverless.invoke`` span (status ok/shed/rejected/
+        #: failed, with fault/retry/cold_start events).
+        self.tracer = tracer
+        if tracer is not None and tracer.env is None:
+            tracer.bind(env)
+        self.monitor = Monitor(env, registry=registry,
+                               namespace="serverless")
         self.billed_gb_s = 0.0
         #: GB-seconds of idle warm capacity (the provider's keep-alive cost).
         self.idle_gb_s = 0.0
@@ -224,14 +232,28 @@ class FaaSPlatform:
         inv = Invocation(inv_id=next(self._ids), function=name,
                          submit_time=self.env.now)
         self.invocations.append(inv)
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span("serverless.invoke",
+                                          function=name, inv_id=inv.inv_id)
         done = self.env.event()
         if not self._admit(name):
             inv.shed = True
             self.monitor.count("shed", key=name)
+            self._finish_span(span, inv)
             done.succeed(inv)
             return done
-        self.env.process(self._execute(inv, done))
+        self.env.process(self._execute(inv, done, span))
         return done
+
+    def _finish_span(self, span, inv: Invocation) -> None:
+        if span is None:
+            return
+        status = ("shed" if inv.shed else
+                  "rejected" if inv.rejected else
+                  "failed" if inv.failed else "ok")
+        self.tracer.end_span(span, status=status,
+                             cold=inv.cold, attempts=inv.attempts)
 
     def _acquire_instance(self, name: str) -> tuple[Optional[_Instance], bool]:
         """(instance, is_cold); None if the concurrency cap rejects."""
@@ -249,7 +271,7 @@ class FaaSPlatform:
         pool.append(inst)
         return inst, True
 
-    def _execute(self, inv: Invocation, done):
+    def _execute(self, inv: Invocation, done, span=None):
         spec = self.functions[inv.function]
         max_attempts = (self.retry_policy.max_attempts
                         if self.retry_policy is not None else 1)
@@ -263,17 +285,21 @@ class FaaSPlatform:
                 if queue is None or not queue.offer((inv, slot := self.env.event())):
                     inv.rejected = True
                     self.monitor.count("rejections", key=inv.function)
+                    self._finish_span(span, inv)
                     done.succeed(inv)
                     return
                 verdict = yield slot
                 if verdict == "shed":
                     inv.shed = True
                     self.monitor.count("shed", key=inv.function)
+                    self._finish_span(span, inv)
                     done.succeed(inv)
                     return
                 inst, cold = self._acquire_instance(inv.function)
             inv.cold = inv.cold or cold
             setup = self.config.cold_start_s if cold else 0.0
+            if cold and span is not None:
+                self.tracer.add_event(span, "cold_start")
             # Account idle time of a reused warm instance.
             if not cold:
                 self.idle_gb_s += ((self.env.now - inst.idle_since)
@@ -296,15 +322,21 @@ class FaaSPlatform:
                 inv.finish_time = self.env.now
                 self.monitor.count("invocations", key=inv.function)
                 self.monitor.record(f"latency:{inv.function}", inv.latency)
+                self._finish_span(span, inv)
                 done.succeed(inv)
                 return
             self.monitor.count("faults", key=inv.function)
+            if span is not None:
+                self.tracer.add_event(span, "fault", attempt=attempt)
             if attempt >= max_attempts:
                 inv.failed = True
                 self.monitor.count("failed_invocations", key=inv.function)
+                self._finish_span(span, inv)
                 done.succeed(inv)
                 return
             self.monitor.count("retries", key=inv.function)
+            if span is not None:
+                self.tracer.add_event(span, "retry", attempt=attempt)
             yield self.env.timeout(
                 self.retry_policy.backoff_s(attempt, self._retry_rng))
 

@@ -45,9 +45,14 @@ class Environment:
     deterministic.
     """
 
-    #: Process-wide tracer inherited by environments created inside a
-    #: :meth:`traced` block (the determinism sanitizer's hook).
-    _default_tracer: Optional[Callable[[float, int, str], None]] = None
+    #: Process-wide tracers inherited by environments created inside a
+    #: :meth:`traced` block (the determinism sanitizer's hook, the span
+    #: tracer's kernel feed). Nested blocks stack additively.
+    _default_tracers: tuple = ()
+    #: Process-wide profiler inherited by environments created inside a
+    #: :meth:`profiled` block (wall-clock attribution per event kind and
+    #: per process; see :class:`repro.observability.SimProfiler`).
+    _default_profiler = None
 
     def __init__(self, initial_time: float = 0.0, debug: bool = False):
         self._now = float(initial_time)
@@ -57,10 +62,32 @@ class Environment:
         #: Debug mode: assert kernel invariants (clock monotonicity,
         #: non-negative delays, sane dispatch counters) on every step.
         self.debug = debug
-        #: Called as ``tracer(t, eid, kind)`` for every dispatched event.
-        self.tracer = Environment._default_tracer
+        #: Every callable here is invoked as ``tracer(t, eid, kind)`` for
+        #: each dispatched event. Multiple subscribers may be active at
+        #: once (e.g. a determinism digest and a span tracer).
+        self._tracers: list[Callable[[float, int, str], None]] = list(
+            Environment._default_tracers)
+        #: Optional profiler; when set, :meth:`step` attributes wall-clock
+        #: time per event kind and per resumed process to it.
+        self.profiler = Environment._default_profiler
         #: Events dispatched so far (a non-negative, monotone counter).
         self.dispatch_count = 0
+
+    @property
+    def tracer(self) -> Optional[Callable[[float, int, str], None]]:
+        """The first installed tracer (back-compat single-hook view)."""
+        return self._tracers[0] if self._tracers else None
+
+    @tracer.setter
+    def tracer(self, fn: Optional[Callable[[float, int, str], None]]):
+        self._tracers = [fn] if fn is not None else []
+
+    def add_tracer(self, fn: Callable[[float, int, str], None]) -> None:
+        """Subscribe ``fn`` to every dispatched event (additive)."""
+        self._tracers.append(fn)
+
+    def remove_tracer(self, fn: Callable[[float, int, str], None]) -> None:
+        self._tracers.remove(fn)
 
     @classmethod
     @contextmanager
@@ -68,14 +95,32 @@ class Environment:
         """Install ``tracer`` on every Environment created in the block.
 
         This is how :class:`repro.analysis.sanitizers.DeterminismSanitizer`
-        observes scenarios that construct their own environments.
+        observes scenarios that construct their own environments. Nested
+        ``traced`` blocks stack: every active tracer sees every event.
         """
-        previous = cls._default_tracer
-        cls._default_tracer = tracer
+        previous = cls._default_tracers
+        cls._default_tracers = previous + (tracer,)
         try:
             yield tracer
         finally:
-            cls._default_tracer = previous
+            cls._default_tracers = previous
+
+    @classmethod
+    @contextmanager
+    def profiled(cls, profiler):
+        """Install ``profiler`` on every Environment created in the block.
+
+        The profiler (see :class:`repro.observability.SimProfiler`)
+        receives per-dispatch and per-callback wall-clock attributions
+        from :meth:`step`. Only one profiler is active at a time; nested
+        blocks shadow the outer profiler for their duration.
+        """
+        previous = cls._default_profiler
+        cls._default_profiler = profiler
+        try:
+            yield profiler
+        finally:
+            cls._default_profiler = previous
 
     def __repr__(self) -> str:
         return f"<Environment t={self._now} queued={len(self._queue)}>"
@@ -135,11 +180,22 @@ class Environment:
                 f"dispatching {event!r}")
         self._now = t
         self.dispatch_count += 1
-        if self.tracer is not None:
-            self.tracer(t, eid, type(event).__name__)
+        profiler = self.profiler
+        if self._tracers or profiler is not None:
+            kind = type(event).__name__
+            for tracer in self._tracers:
+                tracer(t, eid, kind)
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            t0 = profiler.clock()
+            for callback in callbacks:
+                c0 = profiler.clock()
+                callback(event)
+                profiler.account_callback(callback, profiler.clock() - c0)
+            profiler.account_dispatch(kind, profiler.clock() - t0)
         if not event._ok and not event._defused:
             # An unhandled failure: surface it rather than losing it.
             raise event._value

@@ -81,27 +81,78 @@ class Counter:
 
 
 class Monitor:
-    """A namespace of :class:`TimeSeries` and :class:`Counter` objects."""
+    """A namespace of :class:`TimeSeries` and :class:`Counter` objects.
 
-    def __init__(self, env=None):
+    Every monitor is backed by a
+    :class:`~repro.observability.MetricsRegistry`: pass one (plus a
+    ``namespace``) to pool metrics from many components into a single
+    scenario-wide registry, or let the monitor own a private registry.
+    The registry holds the *same* objects as :attr:`series` /
+    :attr:`counters`, under dotted names — a local ``record("queue_length",
+    ...)`` in namespace ``"scheduling"`` is the registry metric
+    ``scheduling.queue_length``. Local names containing ``:`` (the
+    historical per-entity convention, e.g. ``latency:f``) keep their full
+    name locally but register as the base name with a ``key`` label.
+
+    Timestamps come from ``env.now``, an explicit ``time=``, or — only
+    when constructed with ``ordinal_time=True`` — a per-series ordinal
+    (0, 1, 2, ...). Without any of the three, :meth:`record` raises
+    rather than guessing (and rather than silently dropping the sample).
+    """
+
+    def __init__(self, env=None, registry=None, namespace: str = "sim",
+                 ordinal_time: bool = False):
+        if registry is None:
+            from repro.observability.registry import MetricsRegistry
+            registry = MetricsRegistry()
         self.env = env
+        self.registry = registry
+        self.namespace = namespace
+        #: Explicit opt-in for env-less monitors: timestamp records with
+        #: the series' sample index instead of raising.
+        self.ordinal_time = ordinal_time
         self.series: dict[str, TimeSeries] = {}
         self.counters: dict[str, Counter] = {}
 
+    def _registry_key(self, name: str) -> tuple[str, Optional[dict]]:
+        """Map a local name to (registry name, labels)."""
+        from repro.observability.registry import metric_name
+        base, sep, key = name.partition(":")
+        labels = {"key": key} if sep else None
+        return metric_name(self.namespace, base), labels
+
+    def _series(self, name: str) -> TimeSeries:
+        series = self.series.get(name)
+        if series is None:
+            reg_name, labels = self._registry_key(name)
+            series = self.registry.adopt(reg_name, TimeSeries(name), labels)
+            self.series[name] = series
+        return series
+
+    def _counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            reg_name, labels = self._registry_key(name)
+            counter = self.registry.adopt(reg_name, Counter(name), labels)
+            self.counters[name] = counter
+        return counter
+
     def record(self, name: str, value: float,
                time: Optional[float] = None) -> None:
-        if name not in self.series:
-            self.series[name] = TimeSeries(name)
+        series = self._series(name)
         if time is None:
-            if self.env is None:
-                raise ValueError("no env attached; pass time explicitly")
-            time = self.env.now
-        self.series[name].record(time, value)
+            if self.env is not None:
+                time = self.env.now
+            elif self.ordinal_time:
+                time = float(len(series))
+            else:
+                raise ValueError(
+                    "no env attached; pass time explicitly or construct "
+                    "the Monitor with ordinal_time=True")
+        series.record(time, value)
 
     def count(self, name: str, key: Any = None, amount: int = 1) -> None:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        self.counters[name].incr(key, amount)
+        self._counter(name).incr(key, amount)
 
     def __getitem__(self, name: str) -> TimeSeries:
         return self.series[name]
@@ -115,8 +166,15 @@ def summarize(values) -> dict[str, float]:
 
     Returns mean, median, IQR bounds, whiskers (1.5×IQR clipped to data),
     min, max, and count — the exact annotations of Figure 3.
+
+    Empty input returns ``{"count": 0}`` and nothing else; ``None`` and
+    NaN samples are dropped before summarizing (so a series that never
+    fired, e.g. ``TimeSeries.last()`` of an empty series, cannot poison
+    the percentiles), and input that is *all* None/NaN is treated as
+    empty.
     """
-    arr = np.asarray(list(values), dtype=float)
+    arr = np.asarray([v for v in values if v is not None], dtype=float)
+    arr = arr[~np.isnan(arr)]
     if arr.size == 0:
         return {"count": 0}
     q1, med, q3 = np.percentile(arr, [25, 50, 75])

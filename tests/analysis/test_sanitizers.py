@@ -76,7 +76,7 @@ def test_tracer_uninstalled_after_block():
     with Environment.traced(digest):
         env = Environment()
         assert env.tracer is digest
-    assert Environment._default_tracer is None
+    assert Environment._default_tracers == ()
     assert Environment().tracer is None
 
 

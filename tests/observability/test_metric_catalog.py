@@ -1,0 +1,66 @@
+"""Cross-domain metric-name consistency.
+
+Every metric the canonical scenarios emit must (a) match the dotted
+naming convention and (b) be listed in the metric catalog table of
+``docs/observability.md`` — the doc is parsed, so it cannot silently rot.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.observability import METRIC_NAME_RE
+from repro.observability.scenarios import SCENARIOS, run_scenario
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+
+def documented_metrics() -> set[str]:
+    """Metric names from the catalog table (`` `a.b` | type | ...`` rows)."""
+    names = set()
+    for line in DOC.read_text().splitlines():
+        m = re.match(r"\| `([a-z0-9_.]+)` \| (counter|series) \|", line)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def emitted_metrics() -> dict[str, str]:
+    """All registry metric names across scenarios -> first emitting scenario."""
+    emitted = {}
+    for name in SCENARIOS:
+        _, registry, _ = run_scenario(name)
+        for metric in registry.names():
+            emitted.setdefault(metric, name)
+    return emitted
+
+
+@pytest.fixture(scope="module")
+def emitted():
+    return emitted_metrics()
+
+
+def test_catalog_table_parses_nonempty():
+    docs = documented_metrics()
+    assert len(docs) >= 20, f"catalog table parse found only {sorted(docs)}"
+
+
+def test_every_emitted_metric_matches_naming_convention(emitted):
+    bad = [m for m in emitted if not METRIC_NAME_RE.match(m)]
+    assert not bad, f"metrics violating naming convention: {bad}"
+
+
+def test_every_emitted_metric_is_documented(emitted):
+    docs = documented_metrics()
+    missing = {m: s for m, s in emitted.items() if m not in docs}
+    assert not missing, (
+        "scenario metrics missing from docs/observability.md catalog "
+        f"table: {missing}")
+
+
+def test_every_domain_namespaces_its_metrics(emitted):
+    for metric, scenario in emitted.items():
+        assert metric.split(".", 1)[0] == scenario, (
+            f"{metric!r} (from scenario {scenario!r}) is not namespaced "
+            "by its domain")

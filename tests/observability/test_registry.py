@@ -1,0 +1,115 @@
+"""Unit tests for the metrics registry and the Monitor bridge."""
+
+import pytest
+
+from repro.observability import METRIC_NAME_RE, MetricsRegistry, metric_name
+from repro.sim import Environment, Monitor
+
+
+class TestNaming:
+    def test_valid_names_pass(self):
+        for name in ("serverless.invocations.shed", "p2p.swarm_size",
+                     "a1.b_2"):
+            assert METRIC_NAME_RE.match(name), name
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        for name in ("nodots", "Upper.case", "a.b:c", "a..b", ".a.b"):
+            with pytest.raises(ValueError, match="invalid metric name"):
+                reg.counter(name)
+
+    def test_metric_name_sanitizes(self):
+        assert metric_name("serverless", "latency:f") == \
+            "serverless.latency_f"
+        assert metric_name("A B", "c") == "a_b.c"
+
+    def test_non_strict_registry_accepts_anything(self):
+        reg = MetricsRegistry(strict=False)
+        assert reg.counter("Weird:Name").name == "Weird:Name"
+
+
+class TestRegistry:
+    def test_counter_and_series_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        assert reg.series("a.c") is reg.series("a.c")
+
+    def test_cross_type_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(TypeError):
+            reg.series("a.b")
+
+    def test_labels_distinguish_metrics(self):
+        reg = MetricsRegistry()
+        reg.incr("a.b", labels={"key": "x"})
+        reg.incr("a.b", labels={"key": "y"}, amount=2)
+        assert reg.counter("a.b", labels={"key": "x"}).total == 1
+        assert reg.counter("a.b", labels={"key": "y"}).total == 2
+
+    def test_adopt_first_writer_wins(self):
+        from repro.sim.monitor import Counter
+        reg = MetricsRegistry()
+        first = Counter("x")
+        assert reg.adopt("a.b", first) is first
+        assert reg.adopt("a.b", Counter("y")) is first
+
+    def test_snapshot_is_deterministic_and_complete(self):
+        reg = MetricsRegistry()
+        reg.incr("z.last", key="k")
+        reg.record("a.first", 1.0, time=0.0)
+        reg.record("a.first", 3.0, time=2.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.first", "z.last"]
+        assert snap["a.first"] == {"type": "series", "count": 2,
+                                   "first_t": 0.0, "last_t": 2.0,
+                                   "last": 3.0, "time_average": 1.0}
+        assert snap["z.last"] == {"type": "counter", "total": 1,
+                                  "by_key": {"k": 1}}
+
+    def test_export_text_prometheus_style(self):
+        reg = MetricsRegistry()
+        reg.incr("a.hits", key="f", amount=3)
+        reg.record("a.depth", 2.0, time=1.0)
+        text = reg.export_text()
+        assert "# TYPE a_hits_total counter" in text
+        assert "a_hits_total 3" in text
+        assert 'a_hits_total{key="f"} 3' in text
+        assert "a_depth 2" in text
+        assert "a_depth_samples 1" in text
+
+
+class TestMonitorBridge:
+    def test_monitor_metrics_land_in_shared_registry(self):
+        env = Environment()
+        reg = MetricsRegistry()
+        mon = Monitor(env, registry=reg, namespace="serverless")
+        mon.count("shed", key="f")
+        mon.record("queue", 4.0)
+        assert reg.counter("serverless.shed") is mon.counters["shed"]
+        assert reg.series("serverless.queue") is mon.series["queue"]
+
+    def test_colon_names_become_labels(self):
+        env = Environment()
+        reg = MetricsRegistry()
+        mon = Monitor(env, registry=reg, namespace="serverless")
+        mon.record("latency:f", 0.5)
+        assert mon.series["latency:f"] is \
+            reg.series("serverless.latency", labels={"key": "f"})
+
+    def test_private_registry_by_default(self):
+        env = Environment()
+        m1, m2 = Monitor(env), Monitor(env)
+        m1.count("shed")
+        assert "sim.shed" in m1.registry.names()
+        assert m2.registry.names() == []
+
+    def test_two_monitors_one_registry_share_objects(self):
+        env = Environment()
+        reg = MetricsRegistry()
+        m1 = Monitor(env, registry=reg, namespace="scheduling")
+        m2 = Monitor(env, registry=reg, namespace="scheduling")
+        m1.count("restarts")
+        m2.count("restarts", amount=2)
+        assert m1.counters["restarts"] is m2.counters["restarts"]
+        assert reg.counter("scheduling.restarts").total == 3

@@ -99,6 +99,110 @@ def test_store_preserves_all_items_in_order(items):
     assert received == items
 
 
+@given(
+    capacity=st.integers(min_value=1, max_value=6),
+    policy=st.sampled_from(["reject", "shed-oldest"]),
+    arrivals=st.lists(st.floats(min_value=0.0, max_value=50,
+                                allow_nan=False), min_size=1, max_size=30),
+    drain_every=st.floats(min_value=0.5, max_value=20, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_bounded_queue_never_exceeds_capacity(capacity, policy, arrivals,
+                                              drain_every):
+    """Occupancy stays <= capacity and the offer accounting balances."""
+    from repro.sim import BoundedQueue
+
+    env = Environment()
+    queue = BoundedQueue(env, capacity=capacity, policy=policy)
+    max_len = [0]
+    popped = [0]
+
+    def producer(env, queue, at, item):
+        yield env.timeout(at)
+        queue.offer(item)
+        max_len[0] = max(max_len[0], len(queue))
+
+    def consumer(env, queue):
+        while True:
+            yield env.timeout(drain_every)
+            if queue.pop() is not None:
+                popped[0] += 1
+
+    for i, at in enumerate(arrivals):
+        env.process(producer(env, queue, at, i))
+    env.process(consumer(env, queue))
+    env.run(until=max(arrivals) + 1.0)
+    assert max_len[0] <= capacity
+    assert queue.offered == len(arrivals)
+    assert queue.accepted + queue.rejected == queue.offered
+    assert queue.accepted == popped[0] + queue.shed + len(queue)
+
+
+@given(
+    steps=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=5),
+                  st.floats(min_value=-100, max_value=100, allow_nan=False)),
+        min_size=1, max_size=20),
+    tail=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_time_average_matches_brute_force_integral(steps, tail):
+    """time_average == a per-unit-interval Riemann sum of the step signal.
+
+    Sample times are integers, so evaluating the right-continuous signal
+    on every unit interval and averaging is an exact, independent
+    computation of the same time-weighted mean.
+    """
+    from repro.sim.monitor import TimeSeries
+
+    series = TimeSeries("x")
+    t = 0
+    for gap, value in steps:
+        t += gap
+        series.record(float(t), value)
+    end = t + tail
+
+    def value_at(u):
+        held = None
+        for when, value in zip(series.times, series.values):
+            if when <= u:
+                held = value
+        return held
+
+    brute = sum(value_at(u) for u in range(int(series.times[0]), end))
+    brute /= end - series.times[0]
+    assert abs(series.time_average(until=float(end)) - brute) < 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_event_ordering_stable_under_same_seed(seed):
+    """Same seed, same code -> the exact same (time, process) event order,
+    even with plenty of simultaneous events."""
+    from repro.sim import RandomStreams
+
+    def run(seed):
+        env = Environment()
+        rng = RandomStreams(seed).get("order")
+        order = []
+
+        def proc(env, ident):
+            for _ in range(5):
+                # Integer delays force plenty of time collisions, so this
+                # exercises the (time, priority, insertion) tie-break.
+                yield env.timeout(float(rng.integers(0, 3)))
+                order.append((env.now, ident))
+
+        for ident in range(8):
+            env.process(proc(env, ident))
+        env.run()
+        return order
+
+    first = run(seed)
+    assert first == run(seed)
+    assert [t for t, _ in first] == sorted(t for t, _ in first)
+
+
 @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
 @settings(max_examples=25, deadline=None)
 def test_simulation_determinism_under_seed(seed):

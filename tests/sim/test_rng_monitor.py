@@ -94,10 +94,28 @@ class TestMonitorCounter:
 
     def test_monitor_without_env_needs_explicit_time(self):
         mon = Monitor()
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="ordinal_time"):
             mon.record("x", 1)
         mon.record("x", 1, time=3)
         assert mon["x"].times == [3]
+
+    def test_ordinal_time_opt_in_timestamps_by_sample_index(self):
+        mon = Monitor(ordinal_time=True)
+        for value in (5.0, 7.0, 9.0):
+            mon.record("x", value)
+        assert mon["x"].times == [0.0, 1.0, 2.0]
+        # An explicit time still wins over the ordinal.
+        mon.record("x", 11.0, time=100.0)
+        assert mon["x"].times[-1] == 100.0
+
+    def test_env_time_beats_ordinal_opt_in(self):
+        env = Environment()
+        mon = Monitor(env, ordinal_time=True)
+        mon.record("x", 1.0)
+        assert mon["x"].times == [0.0]
+        env._now = 5.0
+        mon.record("x", 2.0)
+        assert mon["x"].times == [0.0, 5.0]
 
     def test_counter_breakdown(self):
         c = Counter("jobs")
@@ -139,3 +157,11 @@ class TestSummarize:
         stats = summarize([7.0])
         assert stats["mean"] == 7.0
         assert stats["std"] == 0.0
+
+    def test_none_and_nan_samples_are_dropped(self):
+        stats = summarize([1.0, None, math.nan, 3.0])
+        assert stats["count"] == 2
+        assert stats["mean"] == 2.0
+
+    def test_all_none_or_nan_is_empty(self):
+        assert summarize([None, math.nan]) == {"count": 0}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Coverage ratchet: the floor only ever goes up.
+
+CI runs ``pytest --cov=repro --cov-report=json`` and then::
+
+    python tools/coverage_ratchet.py check coverage.json
+
+which fails if total line coverage dropped below the committed floor in
+``.coverage-floor``. When coverage has risen comfortably above the
+floor, raise it (and commit the new floor) with::
+
+    python tools/coverage_ratchet.py update coverage.json
+
+The update subcommand leaves :data:`SLACK` points of headroom so
+ordinary refactoring churn doesn't flap CI, and it refuses to lower the
+floor — that direction requires a human editing the file, visibly, in
+review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+FLOOR_FILE = Path(__file__).resolve().parents[1] / ".coverage-floor"
+
+#: Headroom (percentage points) left under measured coverage on update.
+SLACK = 1.0
+
+
+def read_floor() -> float:
+    return float(FLOOR_FILE.read_text().strip())
+
+
+def read_total(report: Path) -> float:
+    data = json.loads(report.read_text())
+    return float(data["totals"]["percent_covered"])
+
+
+def check(report: Path) -> int:
+    floor, total = read_floor(), read_total(report)
+    if total < floor:
+        print(f"FAIL: coverage {total:.2f}% is below the floor {floor:.2f}% "
+              f"({FLOOR_FILE.name}); add tests or (in review) justify "
+              "lowering the floor")
+        return 1
+    print(f"ok: coverage {total:.2f}% >= floor {floor:.2f}%")
+    headroom = total - floor
+    if headroom > 2 * SLACK:
+        print(f"hint: {headroom:.2f} points of headroom — consider "
+              f"`python tools/coverage_ratchet.py update` to ratchet up")
+    return 0
+
+
+def update(report: Path) -> int:
+    floor, total = read_floor(), read_total(report)
+    new_floor = round(total - SLACK, 2)
+    if new_floor <= floor:
+        print(f"floor stays at {floor:.2f}% (measured {total:.2f}%)")
+        return 0
+    FLOOR_FILE.write_text(f"{new_floor}\n")
+    print(f"floor raised {floor:.2f}% -> {new_floor:.2f}% "
+          f"(measured {total:.2f}%)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("command", choices=("check", "update"))
+    parser.add_argument("report", nargs="?", default="coverage.json",
+                        type=Path, help="coverage JSON report path")
+    args = parser.parse_args(argv)
+    if not args.report.exists():
+        print(f"no coverage report at {args.report}; run pytest with "
+              "--cov=repro --cov-report=json first")
+        return 2
+    return {"check": check, "update": update}[args.command](args.report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
