@@ -8,6 +8,10 @@ This package provides the two halves of that evaluation on top of
 - **fault models** (:mod:`repro.faults.models`) — crash/restart, transient
   per-operation errors, stragglers, correlated bursts, and message loss,
   all driven by seeded RNG streams for deterministic replay;
+- **partition & gray-failure models** (:mod:`repro.faults.partition`) —
+  scheduled network splits over named node-groups (including one-way
+  cuts) and heartbeat-alive-but-degraded nodes, attachable to the
+  :class:`~repro.sim.Network` routing fabric;
 - **resilience policies** (:mod:`repro.faults.policies`) — retry with
   backoff, timeouts, circuit breaking, and hedging, as composable
   sim-process combinators any domain can wrap around its operations.
@@ -25,6 +29,11 @@ from repro.faults.models import (
     MessageLossModel,
     StragglerModel,
     TransientErrorModel,
+)
+from repro.faults.partition import (
+    GrayFailureModel,
+    NetworkPartitionModel,
+    PartitionEpisode,
 )
 from repro.faults.policies import (
     BreakerState,
@@ -44,8 +53,11 @@ __all__ = [
     "CorrelatedBurst",
     "CrashRestart",
     "FaultInjectedError",
+    "GrayFailureModel",
     "Hedge",
     "MessageLossModel",
+    "NetworkPartitionModel",
+    "PartitionEpisode",
     "RetryPolicy",
     "StragglerModel",
     "TimeoutExceeded",

@@ -20,8 +20,15 @@ from typing import Optional
 import numpy as np
 
 from repro.cluster import Cluster, FailureInjector
+from repro.cluster.machine import Machine
 from repro.faults.models import CrashRestart, TransientErrorModel
+from repro.faults.partition import (
+    GrayFailureModel,
+    NetworkPartitionModel,
+    PartitionEpisode,
+)
 from repro.faults.policies import RetryPolicy
+from repro.invariants import InvariantEngine, standard_laws
 from repro.recovery import (
     AdaptiveCheckpoint,
     CHECKPOINT_TIERS,
@@ -37,12 +44,13 @@ from repro.resilience import (
     CoDelShedder,
     HeartbeatEmitter,
     PhiAccrualDetector,
+    ServiceMode,
     TokenBucketAdmitter,
 )
 from repro.scheduling.policies import FCFSPolicy
 from repro.scheduling.simulator import ClusterSimulator
 from repro.serverless import FaaSPlatform, FunctionSpec, PlatformConfig
-from repro.sim import Environment, RandomStreams
+from repro.sim import Environment, Monitor, Network, RandomStreams
 from repro.workload.task import BagOfTasks, Task
 
 
@@ -452,6 +460,318 @@ def run_scheduler_recovery_scenario(seed: int = 0,
         "journal_appends": journal.appended if journal is not None else 0,
         "journal_replays": journal.replays if journal is not None else 0,
         "makespan_s": round(metrics.makespan_s, 3),
+    }
+
+
+# -- composed ecosystem: partition + gray failure + invariants -------------
+
+class FrontDoor:
+    """Admission-controlled entry point feeding a scheduler incrementally.
+
+    Every offered task meets the brownout controller first (pressure is
+    the scheduler's ready-queue depth over ``queue_ref``): CRITICAL mode
+    sheds outright, DEGRADED mode doubles the token cost, NORMAL admits
+    at bucket rate. The ``offered == admitted + shed`` books are what the
+    front-door conservation law audits.
+    """
+
+    def __init__(self, env: Environment, sim: ClusterSimulator,
+                 admitter: Optional[TokenBucketAdmitter] = None,
+                 brownout: Optional[BrownoutController] = None,
+                 monitor: Optional[Monitor] = None,
+                 queue_ref: float = 10.0):
+        if queue_ref <= 0:
+            raise ValueError("queue_ref must be positive")
+        self.env = env
+        self.sim = sim
+        self.admitter = admitter
+        self.brownout = brownout
+        self.monitor = monitor
+        self.queue_ref = queue_ref
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def pressure(self) -> float:
+        """Scheduler backlog as a brownout pressure signal."""
+        return len(self.sim.ready) / self.queue_ref
+
+    def offer(self, task: Task) -> bool:
+        """Admit or shed one task; True means it reached the scheduler."""
+        self.offered += 1
+        if self.monitor is not None:
+            self.monitor.count("offered")
+            self.monitor.record("pressure", self.pressure())
+        mode = ServiceMode.NORMAL
+        if self.brownout is not None:
+            mode = self.brownout.observe(self.pressure(), self.env.now)
+        cost = 2.0 if mode is ServiceMode.DEGRADED else 1.0
+        if mode is ServiceMode.CRITICAL or (
+                self.admitter is not None and not self.admitter.admit(cost)):
+            self.shed += 1
+            if self.monitor is not None:
+                self.monitor.count("shed")
+            return False
+        self.admitted += 1
+        if self.monitor is not None:
+            self.monitor.count("admitted")
+        task.submit_time = self.env.now
+        self.sim.submit_task(task)
+        return True
+
+
+def run_partition_scenario(seed: int = 0,
+                           n_tasks: int = 80,
+                           task_rate_per_s: float = 0.8,
+                           n_invocations: int = 120,
+                           invoke_rate_per_s: float = 1.2,
+                           n_machines: int = 8,
+                           minority: int = 3,
+                           partition_start_s: float = 50.0,
+                           partition_end_s: float = 150.0,
+                           partition_direction: str = "both",
+                           gray_worker_span: tuple = (70.0, 190.0),
+                           gray_scheduler_span: tuple = (90.0, 130.0),
+                           gray_slowdown: float = 2.5,
+                           gray_drop_rate: float = 0.15,
+                           gray_latency_s: float = 0.2,
+                           crash_at_s: float = 95.0,
+                           outage_s: float = 8.0,
+                           job_work_s: float = 240.0,
+                           job_mtbf_s: float = 150.0,
+                           check_interval_s: float = 1.0,
+                           invariants: bool = True,
+                           tracer=None, registry=None) -> dict:
+    """The composed-ecosystem chaos study: every layer at once.
+
+    A serverless platform and a batch scheduler share one seeded world. A
+    network partition isolates a minority of the workers, one majority
+    worker and the scheduler node go *gray* (heartbeat-alive but slow,
+    lossy, and laggy), the scheduler itself fail-stops briefly and
+    recovers by journal, a reactive autoscaler adds workers as the
+    backlog grows, admission control and brownout shed at the front door,
+    and a checkpointed side job rides out independent crashes — while an
+    :class:`~repro.invariants.InvariantEngine` audits every layer's
+    conservation law once per simulated second. The scenario's claim is
+    not that the run goes well; it is that every unit of work is
+    accounted for at every instant, no matter how badly it goes.
+
+    Phi-accrual heartbeats route through the same network as dispatches,
+    so partitioned workers are suspected (reason ``"silence"``) while
+    gray workers — whose heartbeats are protected, per the definition of
+    a gray failure — are never declared dead.
+    """
+    if not 0 < minority < n_machines:
+        raise ValueError("minority must be in (0, n_machines)")
+    streams = RandomStreams(seed)
+    env = Environment()
+    if tracer is not None and tracer.env is None:
+        tracer.bind(env)
+    cluster = Cluster.homogeneous("composed", n_machines, cores=4)
+    minority_names = [m.name for m in cluster.machines[-minority:]]
+    gray_worker = cluster.machines[-minority - 1].name
+
+    network = Network(env, monitor=Monitor(env, registry=registry,
+                                           namespace="network"))
+    partition = network.attach(NetworkPartitionModel(
+        env, groups={"minority": minority_names},
+        episodes=[PartitionEpisode(partition_start_s, partition_end_s,
+                                   "minority", partition_direction)],
+        monitor=Monitor(env, registry=registry, namespace="partition")))
+    gray = network.attach(GrayFailureModel(
+        env, streams.get("gray-failures"),
+        slowdown=gray_slowdown, drop_rate=gray_drop_rate,
+        extra_latency_s=gray_latency_s,
+        episodes={gray_worker: [gray_worker_span],
+                  "scheduler": [gray_scheduler_span]},
+        monitor=Monitor(env, registry=registry, namespace="gray")))
+
+    detector = PhiAccrualDetector(
+        env, threshold=8.0, poll_interval_s=0.5,
+        monitor=Monitor(env, registry=registry, namespace="detection"))
+    heartbeat_rngs = {m.name: streams.get(f"hb-{m.name}")
+                      for m in cluster.machines}
+
+    journal = Journal(env, append_cost_s=0.002,
+                      replay_cost_per_record_s=0.001, name="composed-journal")
+    sim = ClusterSimulator(env, cluster, FCFSPolicy(), health=detector,
+                           journal=journal, scheduler_restart_cost_s=1.0,
+                           network=network, node_name="scheduler",
+                           service_time_factor=lambda m:
+                               gray.service_factor(m.name),
+                           tracer=tracer, registry=registry)
+
+    def add_heartbeat(machine: Machine) -> None:
+        HeartbeatEmitter(env, detector, machine.name, 1.0,
+                         rng=heartbeat_rngs[machine.name],
+                         is_up=lambda m=machine: m.is_up,
+                         network=network, src=machine.name, dst="scheduler")
+
+    for machine in cluster.machines:
+        add_heartbeat(machine)
+
+    composed_monitor = Monitor(env, registry=registry, namespace="composed")
+    door = FrontDoor(
+        env, sim,
+        admitter=TokenBucketAdmitter(env, rate_per_s=1.0, burst=4.0),
+        brownout=BrownoutController(degraded_enter=1.2, degraded_exit=0.8,
+                                    critical_enter=2.5, critical_exit=1.6),
+        monitor=composed_monitor, queue_ref=6.0)
+
+    platform = FaaSPlatform(
+        env,
+        PlatformConfig(cold_start_s=0.25, keep_alive_s=600.0,
+                       concurrency_limit=6, prewarmed=4, queue_capacity=32),
+        fault_model=TransientErrorModel(streams.get("serverless-faults"),
+                                        0.1),
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.1,
+                                 multiplier=2.0, max_delay_s=2.0, jitter=0.1),
+        retry_rng=streams.get("retry-jitter"),
+        admitter=TokenBucketAdmitter(env, rate_per_s=4.0, burst=8.0),
+        brownout=BrownoutController(degraded_enter=1.05, degraded_exit=0.95,
+                                    critical_enter=1.5, critical_exit=1.1),
+        tracer=tracer, registry=registry)
+    platform.deploy(FunctionSpec("f", runtime_s=0.4, memory_gb=0.5))
+
+    store = CheckpointStore(env, tier="local", keep_last=3)
+    job = CheckpointedJob(
+        env, work_s=job_work_s,
+        policy=DalyOptimalCheckpoint(store.write_time_s(100.0),
+                                     mtbf_s=job_mtbf_s),
+        store=store, checkpoint_size_mb=100.0, restart_cost_s=2.0,
+        name="composed-job",
+        monitor=Monitor(env, registry=registry, namespace="recovery"),
+        tracer=tracer)
+    crash = CrashRestart(env, [job], streams.get("job-crashes"),
+                         mtbf_s=job_mtbf_s, mttr_s=10.0,
+                         name="composed-job-crash")
+
+    engine = None
+    if invariants:
+        engine = InvariantEngine(
+            env,
+            standard_laws(network=network, scheduler=sim, platform=platform,
+                          front_door=door, jobs=[job]),
+            check_interval_s=check_interval_s,
+            monitor=Monitor(env, registry=registry, namespace="invariants"))
+
+    task_rng = streams.get("task-sizes")
+    task_arrivals = streams.get("task-arrivals")
+    invoke_arrivals = streams.get("invoke-arrivals")
+
+    def task_driver(env):
+        for _ in range(n_tasks):
+            yield env.timeout(
+                float(task_arrivals.exponential(1.0 / task_rate_per_s)))
+            door.offer(Task(work=float(task_rng.uniform(20.0, 80.0))))
+        sim.close_submissions()
+
+    def invoke_driver(env):
+        for _ in range(n_invocations):
+            yield env.timeout(
+                float(invoke_arrivals.exponential(1.0 / invoke_rate_per_s)))
+            platform.invoke("f")
+
+    def outage(env):
+        yield env.timeout(crash_at_s)
+        sim.crash_scheduler()
+        yield env.timeout(outage_s)
+        yield from sim.recover_scheduler()
+
+    scale_limit = 2
+    scaled: list[Machine] = []
+
+    def autoscaler(env):
+        while not sim.all_done:
+            yield env.timeout(5.0)
+            if len(sim.ready) >= 12 and len(scaled) < scale_limit:
+                machine = Machine(f"composed-x{len(scaled):04d}", cores=4,
+                                  memory_gb=32.0)
+                cluster.add_machine(machine)
+                network.add_node(machine.name)
+                heartbeat_rngs[machine.name] = streams.get(
+                    f"hb-{machine.name}")
+                add_heartbeat(machine)
+                scaled.append(machine)
+                composed_monitor.count("scaled_up")
+                sim.handle_machine_repair(machine)
+
+    env.process(task_driver(env))
+    env.process(invoke_driver(env))
+    env.process(outage(env))
+    env.process(autoscaler(env))
+
+    env.run(until=sim._scheduler)
+    if job.finished_at is None:
+        env.run(until=job.done)
+    # Drain in-flight serverless retries, network deliveries, and a last
+    # few invariant audit rounds past the final interesting event.
+    env.run(until=env.now + 30.0)
+    if engine is not None:
+        engine.check_now()
+    if door.brownout is not None:
+        door.brownout.finish(env.now)
+    if platform.brownout is not None:
+        platform.brownout.finish(env.now)
+
+    metrics = sim.metrics()
+    job_stats = job.stats()
+    suspected_minority = [name for name in minority_names
+                          if any(key == name
+                                 for key, _, _ in detector.suspicion_log)]
+    first_onset: dict = {}
+    for key, onset, _ in detector.suspicion_log:
+        first_onset.setdefault(key, onset)
+    minority_detection_latency_s = {
+        name: (round(first_onset[name] - partition_start_s, 3)
+               if name in first_onset else None)
+        for name in minority_names}
+    lost_reports = sim.monitor.counters.get("lost_reports")
+    return {
+        # front door / scheduler
+        "offered": door.offered,
+        "admitted": door.admitted,
+        "door_shed": door.shed,
+        "submitted": sim.submitted,
+        "completed": metrics.n_tasks,
+        "lost": len(sim.failed),
+        "restarts": sim.restarts,
+        "misdispatches": sim.misdispatches,
+        "lost_reports": lost_reports.total if lost_reports else 0,
+        "scheduler_crashes": sim.scheduler_crashes,
+        "recovered_completions": sim.recovered_completions,
+        "readopted": sim.readopted,
+        "orphans_requeued": sim.orphans_requeued,
+        "scaled_up": len(scaled),
+        "makespan_s": round(metrics.makespan_s, 3),
+        # detection
+        "suspicions": detector.suspicions,
+        "suspicions_by_reason": dict(detector.suspicions_by_reason),
+        "false_suspicions": detector.false_suspicions,
+        "suspected_minority": suspected_minority,
+        "minority_detection_latency_s": minority_detection_latency_s,
+        "gray_worker": gray_worker,
+        "gray_worker_suspected": any(key == gray_worker
+                                     for key, _, _ in
+                                     detector.suspicion_log),
+        # network ledger
+        "messages_sent": network.sent,
+        "messages_delivered": network.delivered,
+        "messages_blocked": network.blocked,
+        "messages_dropped": network.dropped,
+        "messages_in_flight": network.in_flight,
+        # serverless
+        "invocations": len(platform.invocations),
+        "invocations_completed": len(platform.completed("f")),
+        "slo_attainment": platform.slo_attainment(1.5, "f"),
+        # recovery side job
+        "job_makespan_s": round(job_stats.makespan_s, 3),
+        "job_crashes": job_stats.crashes,
+        "job_availability": round(crash.empirical_availability(), 6),
+        # invariants
+        "invariant_checks": engine.checks if engine is not None else 0,
+        "invariant_violations": (engine.violations
+                                 if engine is not None else 0),
     }
 
 

@@ -8,7 +8,11 @@ attempt's value:
 
 >>> def handler(env):
 ...     result = yield from RetryPolicy(max_attempts=3).call(
-...         env, lambda: flaky_operation(env))
+...         env, lambda: flaky_operation(env),
+...         rng=streams.get("retry-jitter"))
+
+(A policy with ``jitter > 0`` — the default — requires the rng; pass
+``jitter=0.0`` explicitly to opt out of jittered backoff.)
 
 Provided policies:
 
@@ -102,10 +106,23 @@ class RetryPolicy:
 
     def backoff_s(self, attempt: int,
                   rng: Optional[np.random.Generator] = None) -> float:
-        """Delay before retry number ``attempt`` (1-based)."""
+        """Delay before retry number ``attempt`` (1-based).
+
+        A policy with ``jitter > 0`` *requires* an rng: jitter exists to
+        de-synchronize retry storms, and silently skipping it (the old
+        behavior) ran chaos experiments with phase-locked retries while
+        reporting a jittered configuration. Callers that genuinely want
+        deterministic backoff must say so with ``jitter=0.0``.
+        """
         delay = min(self.base_delay_s * self.multiplier ** (attempt - 1),
                     self.max_delay_s)
-        if rng is not None and self.jitter > 0:
+        if self.jitter > 0:
+            if rng is None:
+                raise ValueError(
+                    f"RetryPolicy has jitter={self.jitter} but backoff_s() "
+                    "got rng=None; pass a named RandomStreams generator "
+                    "(e.g. streams.get('retry-jitter')) or construct the "
+                    "policy with jitter=0.0 to opt out explicitly")
             delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
         return delay
 

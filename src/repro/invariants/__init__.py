@@ -1,0 +1,60 @@
+"""Cross-layer conservation invariants, checked continuously at runtime.
+
+The paper's ecosystem argument (§3, §6.7) is that composed systems fail
+in ways no layer can see alone; ROADMAP item 5 therefore asks for
+whole-stack scenarios with "cross-layer invariants checked end-to-end".
+This package supplies the checking half:
+
+- :mod:`repro.invariants.laws` — declarative
+  :class:`ConservationLaw` objects (labeled terms, tolerance, guard);
+  violations raise :class:`InvariantViolation` with a per-term delta.
+- :mod:`repro.invariants.engine` — :class:`InvariantEngine`, a sim
+  process that audits every registered law on a fixed cadence, so a
+  chaos run dies at the first inconsistent instant instead of producing
+  a quietly-wrong table.
+- :mod:`repro.invariants.catalog` — ready-made laws for each layer:
+  network message conservation, scheduler task conservation and
+  believed-vs-actual reconciliation, serverless invocation fates,
+  front-door admission accounting, and the
+  :class:`~repro.recovery.CheckpointedJob` ledger identity. The catalog
+  is mirrored (and parse-tested) by the table in ``docs/invariants.md``.
+
+Example
+-------
+>>> from repro.invariants import InvariantEngine, standard_laws
+>>> engine = InvariantEngine(env, standard_laws(network=net,
+...                                             scheduler=sim),
+...                          check_interval_s=1.0)
+"""
+
+from repro.invariants.catalog import (
+    checkpoint_accounting,
+    front_door_conservation,
+    network_conservation,
+    scheduler_conservation,
+    scheduler_reconciliation,
+    serverless_conservation,
+    standard_laws,
+)
+from repro.invariants.engine import InvariantEngine
+from repro.invariants.laws import (
+    ConservationLaw,
+    InvariantViolation,
+    Term,
+    counter_term,
+)
+
+__all__ = [
+    "ConservationLaw",
+    "InvariantEngine",
+    "InvariantViolation",
+    "Term",
+    "checkpoint_accounting",
+    "counter_term",
+    "front_door_conservation",
+    "network_conservation",
+    "scheduler_conservation",
+    "scheduler_reconciliation",
+    "serverless_conservation",
+    "standard_laws",
+]

@@ -163,6 +163,22 @@ def scenario_recovery(tracer: Tracer, registry: MetricsRegistry,
             ("crashes", "checkpoints", "restores", "makespan_s")}
 
 
+def scenario_partition(tracer: Tracer, registry: MetricsRegistry,
+                       seed: int) -> dict:
+    """The composed-ecosystem chaos study: partition + gray + invariants."""
+    from repro.faults.chaos import run_partition_scenario
+    result = run_partition_scenario(
+        seed=seed, n_tasks=40, task_rate_per_s=0.8,
+        n_invocations=60, invoke_rate_per_s=1.2,
+        tracer=tracer, registry=registry)
+    return {k: result[k] for k in
+            ("offered", "admitted", "door_shed", "submitted", "completed",
+             "lost", "misdispatches", "lost_reports", "scheduler_crashes",
+             "suspicions", "false_suspicions", "gray_worker_suspected",
+             "messages_sent", "messages_blocked", "messages_dropped",
+             "invariant_checks", "invariant_violations", "makespan_s")}
+
+
 #: The corpus: name -> scenario function. Insertion order is the run and
 #: report order everywhere (CLI, tests).
 SCENARIOS = {
@@ -173,7 +189,15 @@ SCENARIOS = {
     "mmog": scenario_mmog,
     "autoscaling": scenario_autoscaling,
     "recovery": scenario_recovery,
+    "partition": scenario_partition,
 }
+
+#: Scenarios that intentionally compose *several* domains in one world:
+#: their metrics carry each participating domain's own namespace
+#: (``scheduling.*``, ``serverless.*``, ``network.*``, ...) rather than
+#: the scenario's name, and the metric-catalog namespacing test exempts
+#: them accordingly.
+COMPOSED_SCENARIOS = frozenset({"partition"})
 
 #: The seed every golden trace is blessed under.
 GOLDEN_SEED = 7

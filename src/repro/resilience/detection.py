@@ -50,11 +50,15 @@ class HeartbeatEmitter:
                  key: Any, interval_s: float,
                  rng: Optional[np.random.Generator] = None,
                  jitter: float = 0.1,
-                 is_up: Optional[Callable[[], bool]] = None):
+                 is_up: Optional[Callable[[], bool]] = None,
+                 network=None, src: Optional[str] = None,
+                 dst: Optional[str] = None):
         if interval_s <= 0:
             raise ValueError("interval_s must be positive")
         if not 0.0 <= jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if network is not None and (src is None or dst is None):
+            raise ValueError("network routing needs src and dst node names")
         self.env = env
         self.detector = detector
         self.key = key
@@ -62,8 +66,18 @@ class HeartbeatEmitter:
         self.rng = rng
         self.jitter = jitter
         self._is_up = is_up
+        #: Optional :class:`~repro.sim.Network`: beats become
+        #: ``kind="heartbeat"`` messages from ``src`` to ``dst``, so a
+        #: partition silences this emitter exactly like a crash would —
+        #: from the detector's seat the two are indistinguishable, which
+        #: is the phenomenon the partition studies measure.
+        self.network = network
+        self.src = src
+        self.dst = dst
         self.sent = 0
         self.suppressed = 0
+        #: Beats the network blocked or dropped in transit.
+        self.lost = 0
         detector.register(key, interval_s)
         self._proc = env.process(self._beat())
 
@@ -74,11 +88,21 @@ class HeartbeatEmitter:
                 delay *= 1.0 + self.jitter * (2.0 * float(self.rng.random())
                                               - 1.0)
             yield self.env.timeout(delay)
-            if self._is_up is None or self._is_up():
+            if not (self._is_up is None or self._is_up()):
+                self.suppressed += 1
+                continue
+            if self.network is None:
                 self.sent += 1
                 self.detector.heartbeat(self.key)
+                continue
+            verdict = self.network.send(
+                self.src, self.dst,
+                deliver=lambda: self.detector.heartbeat(self.key),
+                kind="heartbeat")
+            if verdict in ("delivered", "in_flight"):
+                self.sent += 1
             else:
-                self.suppressed += 1
+                self.lost += 1
 
 
 class PhiAccrualDetector:
@@ -97,9 +121,17 @@ class PhiAccrualDetector:
     measurable property of the configuration, not of the caller's luck.
     """
 
+    #: Extra std (as a fraction of the mean interval) granted while a key
+    #: has fewer than ``min_samples`` real heartbeats: the primed window
+    #: is a guess, not evidence, so suspicion needs a wider margin until
+    #: the guess decays into observations.
+    PRIME_STD_FACTOR = 0.5
+
     def __init__(self, env: Environment, threshold: float = 8.0,
                  window: int = 32, min_std_s: float = 0.1,
                  poll_interval_s: Optional[float] = None,
+                 min_samples: int = 3,
+                 variance_cv: float = 0.35,
                  monitor: Optional[Monitor] = None,
                  name: str = "phi"):
         if threshold <= 0:
@@ -108,20 +140,40 @@ class PhiAccrualDetector:
             raise ValueError("window must be >= 1")
         if poll_interval_s is not None and poll_interval_s <= 0:
             raise ValueError("poll_interval_s must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if variance_cv <= 0:
+            raise ValueError("variance_cv must be positive")
         self.env = env
         self.threshold = threshold
         self.window = window
         self.min_std_s = min_std_s
+        #: Real heartbeats required before the prime-decay guard lifts.
+        self.min_samples = min_samples
+        #: Coefficient-of-variation boundary of :meth:`suspect_reason`:
+        #: onsets over a window noisier than this are tagged
+        #: ``"variance"`` (the source's own jitter inflated phi), calmer
+        #: ones ``"silence"`` (a regular source simply went quiet — the
+        #: partition/crash signature).
+        self.variance_cv = variance_cv
         self.monitor = monitor
         self.name = name
         self._intervals: dict[Any, deque] = {}
         self._last: dict[Any, float] = {}
+        #: Real (non-primed) heartbeats observed per key.
+        self._observed: dict[Any, int] = {}
         #: Onset time of each currently-standing suspicion.
         self._suspected_at: dict[Any, float] = {}
-        #: Every suspicion onset, as (key, onset_time) in onset order.
-        self.suspicion_log: list[tuple[Any, float]] = []
+        #: Reason tag of each currently-standing suspicion.
+        self._suspect_reasons: dict[Any, str] = {}
+        #: Every suspicion onset, as (key, onset_time, reason) in onset
+        #: order.
+        self.suspicion_log: list[tuple[Any, float, str]] = []
         self.heartbeats = 0
         self.suspicions = 0
+        #: Onset counts per reason tag (all-time, never decremented).
+        self.suspicions_by_reason: dict[str, int] = {"silence": 0,
+                                                     "variance": 0}
         #: Suspicions later cleared by a heartbeat (wrongly accused).
         self.false_suspicions = 0
         if poll_interval_s is not None:
@@ -137,6 +189,7 @@ class PhiAccrualDetector:
             self._intervals[key] = deque([expected_interval_s],
                                          maxlen=self.window)
             self._last[key] = self.env.now
+            self._observed[key] = 0
 
     def heartbeat(self, key: Any) -> None:
         """One heartbeat from ``key`` arrived now."""
@@ -146,7 +199,9 @@ class PhiAccrualDetector:
         self.heartbeats += 1
         self._intervals[key].append(now - self._last[key])
         self._last[key] = now
+        self._observed[key] = self._observed.get(key, 0) + 1
         onset = self._suspected_at.pop(key, None)
+        self._suspect_reasons.pop(key, None)
         if onset is not None:
             # It spoke again: the suspicion was false.
             self.false_suspicions += 1
@@ -154,20 +209,54 @@ class PhiAccrualDetector:
                 self.monitor.count(f"{self.name}_false_suspicions", key=key)
 
     # -- judgment ----------------------------------------------------------
-    def phi(self, key: Any) -> float:
-        """Current suspicion level of ``key`` (0 = just heard from it)."""
+    def _window_stats(self, key: Any) -> tuple[float, float]:
+        """(mean, guarded std) of the key's inter-arrival window.
+
+        While fewer than ``min_samples`` real heartbeats have arrived,
+        the std is widened by a decaying prime guard — the registered
+        interval is an expectation, not a measurement, and total silence
+        from registration must not look sharper than it is. The guard
+        shrinks linearly with each real observation and vanishes at
+        ``min_samples``, so it delays early suspicion without ever
+        preventing it.
+        """
         samples = self._intervals[key]
-        elapsed = self.env.now - self._last[key]
         mean = sum(samples) / len(samples)
         if len(samples) > 1:
             var = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
             std = max(math.sqrt(var), self.min_std_s)
         else:
             std = max(self.min_std_s, 0.1 * mean)
+        observed = self._observed.get(key, 0)
+        if observed < self.min_samples:
+            decay = (self.min_samples - observed) / self.min_samples
+            std = max(std, self.PRIME_STD_FACTOR * mean * decay)
+        return mean, std
+
+    def phi(self, key: Any) -> float:
+        """Current suspicion level of ``key`` (0 = just heard from it)."""
+        elapsed = self.env.now - self._last[key]
+        mean, std = self._window_stats(key)
         p_late = 0.5 * math.erfc((elapsed - mean) / (std * _SQRT2))
         if p_late <= 0.0:
             return PHI_MAX
         return min(-math.log10(p_late), PHI_MAX)
+
+    def _classify(self, key: Any) -> str:
+        """Why phi crossed the threshold: ``"silence"`` or ``"variance"``.
+
+        A regular source (window CV at or below ``variance_cv``) that
+        stops beating is *silent* — the crash/partition signature. A
+        source whose own window is noisier than that earned its phi
+        partly through variance — the slow/flaky gray signature. A key
+        never heard from at all is silent by definition.
+        """
+        if self._observed.get(key, 0) == 0:
+            return "silence"
+        mean, std = self._window_stats(key)
+        if mean <= 0:
+            return "variance"
+        return "silence" if std <= self.variance_cv * mean else "variance"
 
     def is_suspect(self, key: Any) -> bool:
         """Whether ``key`` is currently suspected (recording the onset)."""
@@ -176,13 +265,21 @@ class PhiAccrualDetector:
         if key in self._suspected_at:
             return True
         if self.phi(key) >= self.threshold:
+            reason = self._classify(key)
             self._suspected_at[key] = self.env.now
+            self._suspect_reasons[key] = reason
             self.suspicions += 1
-            self.suspicion_log.append((key, self.env.now))
+            self.suspicions_by_reason[reason] += 1
+            self.suspicion_log.append((key, self.env.now, reason))
             if self.monitor is not None:
                 self.monitor.count(f"{self.name}_suspicions", key=key)
+                self.monitor.count(f"{self.name}_suspicions_{reason}")
             return True
         return False
+
+    def suspect_reason(self, key: Any) -> Optional[str]:
+        """Reason tag of the standing suspicion of ``key``, if any."""
+        return self._suspect_reasons.get(key)
 
     def suspected_at(self, key: Any) -> Optional[float]:
         """Onset time of the standing suspicion of ``key``, if any."""

@@ -71,7 +71,10 @@ class ClusterSimulator:
                  health=None, dispatch_timeout_s: float = 5.0,
                  journal: Optional[Journal] = None,
                  scheduler_restart_cost_s: float = 1.0,
-                 tracer=None, registry=None):
+                 tracer=None, registry=None,
+                 network=None, node_name: str = "scheduler",
+                 report_retry_s: float = 2.0,
+                 service_time_factor=None):
         if failure_mode not in ("requeue", "drop"):
             raise ValueError(
                 f"failure_mode must be 'requeue' or 'drop', got {failure_mode!r}")
@@ -136,6 +139,35 @@ class ClusterSimulator:
         self._orphaned: list[Task] = []
         #: Task registry for journal replay (task_id -> Task).
         self._tasks: dict[int, Task] = {}
+        #: Optional :class:`~repro.sim.Network`: dispatches travel
+        #: ``node_name -> machine.name`` and completion reports travel
+        #: back, so a partition or gray failure between scheduler and
+        #: workers loses them exactly like a crash would. Without one,
+        #: both hops are instantaneous and lossless (the pre-network
+        #: behavior, unchanged).
+        self.network = network
+        self.node_name = node_name
+        #: How often a machine re-sends a completion report the network
+        #: refused to carry.
+        self.report_retry_s = report_retry_s
+        #: Optional callable ``Machine -> float`` multiplying each
+        #: execution's runtime — the gray-failure hook
+        #: (``lambda m: gray.service_factor(m.name)``).
+        self.service_time_factor = service_time_factor
+        if network is not None:
+            network.add_node(node_name)
+            for machine in cluster.machines:
+                network.add_node(machine.name)
+        #: First arrivals (bag tasks, unlocked workflow successors,
+        #: :meth:`submit_task` calls). Requeues and restarts move tasks
+        #: between rooms but never mint one, so at every instant
+        #: ``submitted == finished + failed + ready + running + limbo
+        #: + orphaned + unreported`` (the scheduler conservation law).
+        self.submitted = 0
+        #: Completion reports the network refused to carry home: the task
+        #: is done on its machine (ground truth) but still believed
+        #: running by the scheduler until a retry gets through.
+        self._pending_reports: dict[int, tuple] = {}
         self.scheduler_crashes = 0
         #: Running dispatches a recovering scheduler re-adopted.
         self.readopted = 0
@@ -183,12 +215,34 @@ class ClusterSimulator:
             arrived = (job.ready_tasks() if isinstance(job, Workflow)
                        else job.tasks)
             self.ready.extend(arrived)
+            self.submitted += len(arrived)
             for task in arrived:
                 self._journal("submit", task)
             self._kick()
         self._done_submitting = True
         self._kick()
         return None
+
+    def submit_task(self, task: Task) -> None:
+        """Submit one task now (incremental, front-door-driven submission).
+
+        Unlike :meth:`submit_jobs`, which registers a whole batch with its
+        own arrival process, this admits tasks one at a time as an
+        admission controller lets them through. Call
+        :meth:`close_submissions` when the source dries up so
+        ``all_done`` can become true.
+        """
+        if self._done_submitting:
+            raise RuntimeError("submissions already closed")
+        self.submitted += 1
+        self.ready.append(task)
+        self._journal("submit", task)
+        self._kick()
+
+    def close_submissions(self) -> None:
+        """Declare that no further :meth:`submit_task` calls will come."""
+        self._done_submitting = True
+        self._kick()
 
     def _kick(self) -> None:
         if not self._wake.triggered:
@@ -200,7 +254,7 @@ class ClusterSimulator:
         return (self._done_submitting and not self.ready
                 and not self.running and not self._limbo
                 and not self._crashed and not self._unreported
-                and not self._orphaned)
+                and not self._orphaned and not self._pending_reports)
 
     def _schedule_loop(self):
         while True:
@@ -304,6 +358,21 @@ class ClusterSimulator:
     def _start(self, task: Task, machine: Machine) -> None:
         self.ready.remove(task)
         self._journal("dispatch", task)
+        if self.network is not None:
+            verdict = self.network.send(self.node_name, machine.name,
+                                        deliver=lambda: None,
+                                        kind="dispatch")
+            if verdict in ("blocked", "dropped"):
+                # The dispatch was lost in transit (partition, gray drop).
+                # From the scheduler's seat this is indistinguishable from
+                # dispatching to a dead machine: the task sits in limbo
+                # until the dispatch timeout requeues it.
+                task.state = TaskState.RUNNING
+                self._limbo[task.task_id] = (task, machine)
+                self.monitor.record("queue_length", len(self.ready))
+                self._span_start(task, machine)
+                self.env.process(self._misdispatch(task))
+                return
         if self.health is not None and not machine.is_up:
             # The detector has not suspected this machine yet, so the
             # scheduler believes it alive; the dispatch lands on a dead box
@@ -381,6 +450,14 @@ class ClusterSimulator:
         self._crashed = True
         self.scheduler_crashes += 1
         self.monitor.count("scheduler_crashes")
+        # Reports still in network retry are now reports to a dead
+        # scheduler: same fate as completions that race the crash. Drain
+        # them into the unreported ledger so recovery reconciles them
+        # (and the retry processes, finding their entries gone, exit).
+        for task_id in sorted(self._pending_reports):
+            task, runtime, _ = self._pending_reports.pop(task_id)
+            self.running.pop(task_id, None)
+            self._unreported.append((task, runtime))
 
     def recover_scheduler(self):
         """Process: restart the scheduler and reconcile state via journal.
@@ -453,6 +530,10 @@ class ClusterSimulator:
     def _execute(self, task: Task, machine: Machine):
         from repro.sim import Interrupt
         runtime = machine.runtime_of(task.work)
+        if self.service_time_factor is not None:
+            # Gray-failure hook: a degraded machine still takes work and
+            # still finishes it — just slower.
+            runtime *= float(self.service_time_factor(machine))
         try:
             yield self.env.timeout(runtime)
         except Interrupt:
@@ -490,18 +571,52 @@ class ClusterSimulator:
         self.goodput_core_s += runtime * task.cores
         task.state = TaskState.DONE
         task.finish_time = self.env.now
-        del self.running[task.task_id]
         self._procs.pop(task.task_id, None)
         self._span_end(task, "ok")
         if self._crashed:
             # The task finished on its machine, but the completion report
             # went to a dead scheduler; recovery reconciles it — the task
             # is done (work is never redone), only the bookkeeping lags.
+            del self.running[task.task_id]
             self._unreported.append((task, runtime))
             return
+        if self.network is not None:
+            verdict = self.network.send(machine.name, self.node_name,
+                                        deliver=lambda: None, kind="report")
+            if verdict in ("blocked", "dropped"):
+                # The report was lost in transit. Ground truth moved on
+                # (machine freed, task DONE) but the scheduler still
+                # *believes* the task is running: it stays in ``running``
+                # and joins the pending-reports ledger until a retry gets
+                # through — the exact gap the reconciliation law audits.
+                self.monitor.count("lost_reports")
+                self._pending_reports[task.task_id] = (task, runtime,
+                                                       machine)
+                self.env.process(self._report_later(task))
+                return
+        del self.running[task.task_id]
         self._report_completion(task, runtime)
         self.monitor.record("utilization", self.cluster.utilization)
         self._kick()
+
+    def _report_later(self, task: Task):
+        """Machine-side retry loop for a lost completion report."""
+        while task.task_id in self._pending_reports:
+            yield self.env.timeout(self.report_retry_s)
+            entry = self._pending_reports.get(task.task_id)
+            if entry is None:
+                return  # a crash drained it into the unreported ledger
+            _, runtime, machine = entry
+            verdict = self.network.send(machine.name, self.node_name,
+                                        deliver=lambda: None, kind="report")
+            if verdict in ("blocked", "dropped"):
+                continue
+            del self._pending_reports[task.task_id]
+            self.running.pop(task.task_id, None)
+            self._report_completion(task, runtime)
+            self.monitor.record("utilization", self.cluster.utilization)
+            self._kick()
+            return
 
     def _report_completion(self, task: Task, runtime: float) -> None:
         """Scheduler-side bookkeeping of one finished task."""
@@ -515,6 +630,7 @@ class ClusterSimulator:
                 for succ in job.ready_tasks():
                     if succ not in self.ready:
                         self.ready.append(succ)
+                        self.submitted += 1
                         self._journal("submit", succ)
                 break
 

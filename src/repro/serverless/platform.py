@@ -115,6 +115,11 @@ class FaaSPlatform:
                  tracer=None, registry=None):
         self.env = env
         self.config = config or PlatformConfig()
+        if (retry_policy is not None and retry_policy.jitter > 0
+                and retry_rng is None):
+            raise ValueError(
+                "retry_policy has jitter > 0 but retry_rng is None; pass a "
+                "named RandomStreams stream (or a jitter=0.0 policy)")
         #: Optional per-attempt transient failure model (chaos experiments).
         self.fault_model = fault_model
         #: Optional platform-side retry of faulted attempts; retries show up

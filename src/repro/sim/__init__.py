@@ -19,6 +19,8 @@ Public surface:
   queues between processes.
 - :class:`BoundedQueue` — capacity-bounded FIFO that rejects or sheds on
   overflow (the backpressure primitive of the resilience layer).
+- :class:`Network` — fault-aware message routing between named nodes
+  (partitions, loss, and latency attach as duck-typed fault models).
 - :class:`RandomStreams` — named, reproducible RNG streams.
 - :class:`Monitor`, :class:`TimeSeries`, :class:`Counter` — instrumentation.
 - :func:`time_eq` — epsilon comparison for sim timestamps (simlint SL006).
@@ -67,6 +69,7 @@ from repro.sim.resources import (
 )
 from repro.sim.rng import RandomStreams
 from repro.sim.monitor import Counter, Monitor, TimeSeries, summarize
+from repro.sim.network import Network
 
 __all__ = [
     "AllOf",
@@ -80,6 +83,7 @@ __all__ = [
     "FilterStore",
     "Interrupt",
     "Monitor",
+    "Network",
     "Preempted",
     "PreemptiveResource",
     "PriorityResource",

@@ -452,3 +452,54 @@ class TestHedgeCancellation:
         # Run past the loser's failure time: the defused failure of the
         # abandoned primary must not crash the simulation.
         env.run(until=20.0)
+
+
+class TestJitterRequiresRng:
+    """Jittered backoff without an rng is a refused configuration, not a
+    silently-unjittered one (it would phase-lock retry storms while
+    reporting a jittered setup)."""
+
+    def test_backoff_with_jitter_and_no_rng_raises(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.1)
+        with pytest.raises(ValueError, match="rng=None"):
+            policy.backoff_s(1)
+
+    def test_default_policy_requires_rng_too(self):
+        # The default jitter is nonzero on purpose: opting out must be
+        # explicit, never accidental.
+        assert RetryPolicy().jitter > 0
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(1)
+
+    def test_explicit_zero_jitter_is_deterministic_without_rng(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=2.0,
+                             max_delay_s=8.0, jitter=0.0)
+        assert [policy.backoff_s(a) for a in (1, 2, 3, 4, 5)] \
+            == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_jitter_with_named_stream_is_seeded(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.2)
+
+        def draws():
+            rng = RandomStreams(9).get("retry-jitter")
+            return [policy.backoff_s(1, rng) for _ in range(5)]
+
+        a, b = draws(), draws()
+        assert a == b
+        assert len(set(a)) > 1
+
+    def test_call_combinator_propagates_the_requirement(self):
+        env = Environment()
+
+        def attempt():
+            yield env.timeout(0.1)
+            raise FaultInjectedError("flaky")
+
+        def driver():
+            policy = RetryPolicy(max_attempts=3, base_delay_s=0.5,
+                                 jitter=0.1)
+            yield from policy.call(env, attempt)   # no rng passed
+
+        env.process(driver())
+        with pytest.raises(ValueError, match="rng=None"):
+            env.run()

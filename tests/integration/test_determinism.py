@@ -60,3 +60,17 @@ def test_recovery_scenario_trace_identical(seed):
                                       work_s=600.0, mtbf_s=150.0,
                                       corruption_p=0.05),
         label=f"recovery seed={seed}")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partition_scenario_trace_identical(seed):
+    """The composed-ecosystem study: partitions, gray failures, crash
+    recovery, autoscaling, and the invariant engine in one trace."""
+    from repro.faults.chaos import run_partition_scenario
+    sanitizer = DeterminismSanitizer(runs=2)
+    sanitizer.check(
+        lambda: run_partition_scenario(
+            seed=seed, n_tasks=24, task_rate_per_s=1.0,
+            n_invocations=30, invoke_rate_per_s=1.5),
+        label=f"partition seed={seed}")
+    assert sanitizer.digests[0].events > 1000  # a real composition ran

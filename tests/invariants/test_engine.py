@@ -1,0 +1,109 @@
+"""Tests for the continuous invariant engine."""
+
+import pytest
+
+from repro.invariants import ConservationLaw, InvariantEngine, \
+    InvariantViolation, Term
+from repro.sim import Environment, Monitor
+
+
+def fixed_law(name, lhs_value, rhs_value):
+    return ConservationLaw(
+        name, lhs=[Term("lhs", lambda: lhs_value)],
+        rhs=[Term("rhs", lambda: rhs_value)])
+
+
+def live_law(name, books):
+    return ConservationLaw(
+        name, lhs=[Term("in", lambda: books["in"])],
+        rhs=[Term("out", lambda: books["out"])])
+
+
+class TestRegistration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InvariantEngine(Environment(), check_interval_s=0.0)
+
+    def test_duplicate_law_name_rejected(self):
+        engine = InvariantEngine(Environment(),
+                                 laws=[fixed_law("a.law", 1, 1)])
+        with pytest.raises(ValueError):
+            engine.register(fixed_law("a.law", 2, 2))
+
+    def test_law_lookup(self):
+        law = fixed_law("a.law", 1, 1)
+        engine = InvariantEngine(Environment(), laws=[law])
+        assert engine.law("a.law") is law
+        with pytest.raises(KeyError):
+            engine.law("missing")
+
+
+class TestHaltMode:
+    def test_violation_kills_the_run_at_the_bad_instant(self):
+        env = Environment()
+        books = {"in": 0, "out": 0}
+        InvariantEngine(env, laws=[live_law("books", books)],
+                        check_interval_s=1.0)
+
+        def corrupt():
+            yield env.timeout(3.5)
+            books["in"] += 1        # mint work out of thin air
+
+        env.process(corrupt())
+        with pytest.raises(InvariantViolation):
+            env.run(until=10.0)
+        # The audit cadence bounds when the corruption is caught.
+        assert env.now == 4.0
+
+    def test_clean_run_completes(self):
+        env = Environment()
+        engine = InvariantEngine(env, laws=[fixed_law("ok", 2, 2)],
+                                 check_interval_s=1.0)
+        env.run(until=5.5)
+        assert engine.checks == 5
+        assert engine.violations == 0
+
+
+class TestSurveyMode:
+    def test_violations_collected_not_raised(self):
+        env = Environment()
+        engine = InvariantEngine(
+            env, laws=[fixed_law("bad.one", 1, 2),
+                       fixed_law("good", 3, 3),
+                       fixed_law("bad.two", 5, 0)],
+            check_interval_s=1.0, halt=False)
+        env.run(until=2.5)          # two audit passes
+        assert engine.violations == 4
+        assert [v.law.name for v in engine.violation_log] \
+            == ["bad.one", "bad.two", "bad.one", "bad.two"]
+
+    def test_check_now_returns_all_violations(self):
+        env = Environment()
+        engine = InvariantEngine(env, laws=[fixed_law("bad", 1, 2)],
+                                 halt=False)
+        found = engine.check_now()
+        assert len(found) == 1
+        assert found[0].delta == -1.0
+
+
+def test_monitor_counts_checks_and_violations_by_law():
+    env = Environment()
+    monitor = Monitor(env, namespace="invariants")
+    engine = InvariantEngine(
+        env, laws=[fixed_law("good", 1, 1), fixed_law("bad", 1, 0)],
+        monitor=monitor, halt=False)
+    engine.check_now()
+    assert monitor.counters["checks"].by_key == {"good": 1, "bad": 1}
+    assert monitor.counters["violations"].by_key == {"bad": 1}
+
+
+def test_guarded_laws_do_not_fire_until_applicable():
+    env = Environment()
+    job = {"finished": False}
+    law = ConservationLaw(
+        "at.the.end", lhs=[Term("a", lambda: 1)],
+        rhs=[Term("b", lambda: 0)], when=lambda: job["finished"])
+    engine = InvariantEngine(env, laws=[law], halt=False)
+    assert engine.check_now() == []
+    job["finished"] = True
+    assert len(engine.check_now()) == 1

@@ -1,0 +1,72 @@
+"""The law catalog table in ``docs/invariants.md`` cannot silently rot.
+
+Mirror of the metric-catalog test: the doc's law table is parsed and
+compared against the laws ``standard_laws`` actually produces when every
+component is present.
+"""
+
+import re
+from pathlib import Path
+
+from repro.invariants import standard_laws
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "invariants.md"
+
+
+class _Bag:
+    """Duck-typed stand-in with whatever attributes a law reads."""
+
+    def __init__(self, **attrs):
+        self.__dict__.update(attrs)
+
+
+def catalog_laws():
+    """Every law standard_laws emits with all components bound."""
+    network = _Bag(sent=0, delivered=0, blocked=0, dropped=0, in_flight=0)
+    scheduler = _Bag(submitted=0, finished=[], failed=[], ready=[],
+                     running={}, _limbo=[], _orphaned=[], _unreported=[],
+                     _procs={}, _pending_reports={})
+
+    class _Registry:
+        def get(self, name):
+            return None
+
+    platform = _Bag(invocations=[], monitor=_Bag(registry=_Registry()))
+    door = _Bag(offered=0, admitted=0, shed=0)
+    job = _Bag(finished_at=None, started_at=0.0, work_s=0.0,
+               checkpoint_time_s=0.0, lost_work_s=0.0, recovery_time_s=0.0,
+               downtime_s=0.0)
+    return standard_laws(network=network, scheduler=scheduler,
+                         platform=platform, front_door=door, jobs=[job])
+
+
+def documented_laws() -> set[str]:
+    """Law names from the catalog table (`` `a.b` | layer | ...`` rows)."""
+    names = set()
+    for line in DOC.read_text().splitlines():
+        m = re.match(r"\| `([a-z0-9_.]+)` \| [a-zA-Z]", line)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def test_catalog_table_parses_nonempty():
+    docs = documented_laws()
+    assert len(docs) >= 6, f"law table parse found only {sorted(docs)}"
+
+
+def test_every_standard_law_is_documented():
+    missing = {law.name for law in catalog_laws()} - documented_laws()
+    assert not missing, (
+        f"laws missing from docs/invariants.md catalog table: "
+        f"{sorted(missing)}")
+
+
+def test_law_names_are_layer_namespaced():
+    for law in catalog_laws():
+        assert re.fullmatch(r"[a-z0-9_]+(\.[a-z0-9_]+)+", law.name), law.name
+
+
+def test_every_law_has_a_description():
+    for law in catalog_laws():
+        assert law.description, f"law {law.name!r} has no description"

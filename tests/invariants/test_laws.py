@@ -1,0 +1,106 @@
+"""Tests for conservation-law terms, evaluation, and violation reports."""
+
+import pytest
+
+from repro.invariants import (
+    ConservationLaw,
+    InvariantViolation,
+    Term,
+    counter_term,
+)
+from repro.observability import MetricsRegistry
+
+
+def law_of(lhs_vals, rhs_vals, **kwargs):
+    """A law over fixed labeled values, e.g. ({"a": 3}, {"b": 3})."""
+    return ConservationLaw(
+        name=kwargs.pop("name", "test.law"),
+        lhs=[Term(k, lambda v=v: v) for k, v in lhs_vals.items()],
+        rhs=[Term(k, lambda v=v: v) for k, v in rhs_vals.items()],
+        **kwargs)
+
+
+class TestTerm:
+    def test_value_coerces_to_float(self):
+        assert Term("n", lambda: 3).value() == 3.0
+        assert isinstance(Term("n", lambda: 3).value(), float)
+
+    def test_counter_term_reads_registry_total(self):
+        registry = MetricsRegistry()
+        term = counter_term(registry, "domain.widgets", "widgets")
+        assert term.label == "widgets"
+        assert term.value() == 0.0          # metric not emitted yet
+        registry.incr("domain.widgets", 5)
+        assert term.value() == 5.0
+
+    def test_counter_term_default_label_is_metric_name(self):
+        assert counter_term(MetricsRegistry(), "a.b").label == "a.b"
+
+
+class TestConservationLaw:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConservationLaw("empty", lhs=[], rhs=[Term("x", lambda: 0)])
+        with pytest.raises(ValueError):
+            ConservationLaw("empty", lhs=[Term("x", lambda: 0)], rhs=[])
+        with pytest.raises(ValueError):
+            law_of({"a": 1}, {"b": 1}, tol=-0.1)
+
+    def test_balanced_law_passes_and_counts(self):
+        law = law_of({"a": 3, "b": 4}, {"c": 7})
+        law.check(time=1.0)
+        law.check(time=2.0)
+        assert law.checks == 2
+        assert law.violations == 0
+
+    def test_within_tolerance_passes(self):
+        law_of({"a": 1.0}, {"b": 1.0 + 1e-9}).check()
+        law_of({"a": 1.0}, {"b": 1.05}, tol=0.1).check()
+
+    def test_imbalance_raises_with_labeled_delta(self):
+        law = law_of({"a": 3, "b": 4}, {"c": 6}, name="books")
+        with pytest.raises(InvariantViolation) as excinfo:
+            law.check(time=12.5)
+        v = excinfo.value
+        assert law.violations == 1
+        assert v.law is law
+        assert v.time == 12.5
+        assert v.lhs_values == [("a", 3.0), ("b", 4.0)]
+        assert v.rhs_values == [("c", 6.0)]
+        assert v.lhs_total == 7.0 and v.rhs_total == 6.0
+        assert v.delta == 1.0
+        assert str(v) == ("invariant 'books' violated at t=12.5: "
+                          "[a=3 + b=4] = 7 != [c=6] = 6 (delta +1)")
+
+    def test_negative_delta_is_signed(self):
+        with pytest.raises(InvariantViolation) as excinfo:
+            law_of({"a": 5}, {"b": 8}).check()
+        assert excinfo.value.delta == -3.0
+        assert "(delta -3)" in str(excinfo.value)
+
+    def test_violation_is_an_assertion_error(self):
+        # So plain `pytest.raises(AssertionError)` and unittest-style
+        # harnesses treat a conservation failure as a test failure.
+        assert issubclass(InvariantViolation, AssertionError)
+
+    def test_guard_skips_inapplicable_law(self):
+        gate = {"open": False}
+        law = law_of({"a": 1}, {"b": 99}, when=lambda: gate["open"])
+        law.check()                  # guarded: no evaluation, no raise
+        assert law.checks == 0
+        gate["open"] = True
+        with pytest.raises(InvariantViolation):
+            law.check()
+
+    def test_terms_read_live_state(self):
+        books = {"in": 0, "out": 0}
+        law = ConservationLaw(
+            "live", lhs=[Term("in", lambda: books["in"])],
+            rhs=[Term("out", lambda: books["out"])])
+        law.check()
+        books["in"] = 2
+        books["out"] = 2
+        law.check()
+        books["out"] = 1
+        with pytest.raises(InvariantViolation):
+            law.check()

@@ -148,3 +148,108 @@ def test_validation_errors():
         HeartbeatEmitter(env, det, "a", 0.0)
     with pytest.raises(ValueError):
         HeartbeatEmitter(env, det, "a", 1.0, jitter=1.0)
+
+
+def beat_regular(env, det, key, interval_s, n):
+    """Advance the clock and deliver n perfectly regular heartbeats."""
+    for _ in range(n):
+        env.run(until=env.now + interval_s)
+        det.heartbeat(key)
+
+
+class TestPrimeDecayGuard:
+    """Before ``min_samples`` real beats, the primed window is a guess and
+    suspicion must be slower — but never impossible."""
+
+    def test_early_silence_is_suspected_later_not_never(self):
+        # After ONE real beat the naive detector (min_samples=1) trusts
+        # its razor-thin window; the guarded one still widens the std
+        # until min_samples beats arrive — so it suspects strictly
+        # later, but it does suspect.
+        def onset_after_one_beat(min_samples):
+            env = Environment()
+            det = PhiAccrualDetector(env, threshold=8.0,
+                                     min_samples=min_samples, min_std_s=0.1)
+            det.register("m", 1.0)
+            env.run(until=1.0)
+            det.heartbeat("m")
+            t = 1.0
+            while not det.is_suspect("m"):
+                t += 0.1
+                env.run(until=t)
+                assert t < 60.0, "never suspected at all"
+            return t, det
+        t_naive, _ = onset_after_one_beat(1)
+        t_guarded, guarded = onset_after_one_beat(3)
+        assert t_naive < t_guarded
+        assert guarded.suspicions == 1    # delayed, not prevented
+
+    def test_guard_decays_with_each_real_beat(self):
+        env = Environment()
+        det = PhiAccrualDetector(env, min_samples=3, min_std_s=0.01)
+        det.register("m", 1.0)
+        stds = [det._window_stats("m")[1]]
+        for _ in range(3):
+            env.run(until=env.now + 1.0)
+            det.heartbeat("m")
+            stds.append(det._window_stats("m")[1])
+        # 0 -> 1 -> 2 -> 3 observed beats: the widened std shrinks
+        # monotonically and vanishes at min_samples.
+        assert stds[0] > stds[1] > stds[2] > stds[3]
+        assert stds[0] == pytest.approx(
+            PhiAccrualDetector.PRIME_STD_FACTOR * 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(Environment(), min_samples=0)
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(Environment(), variance_cv=0.0)
+
+
+class TestSuspectReason:
+    def test_regular_source_going_quiet_is_silence(self):
+        env = Environment()
+        det = PhiAccrualDetector(env, threshold=8.0)
+        det.register("steady", 1.0)
+        beat_regular(env, det, "steady", 1.0, n=10)
+        env.run(until=env.now + 30.0)      # it stops beating
+        assert det.is_suspect("steady")
+        assert det.suspect_reason("steady") == "silence"
+        assert det.suspicions_by_reason == {"silence": 1, "variance": 0}
+        assert det.suspicion_log[0][0] == "steady"
+        assert det.suspicion_log[0][2] == "silence"
+
+    def test_jittery_source_is_variance(self):
+        env = Environment()
+        det = PhiAccrualDetector(env, threshold=8.0, variance_cv=0.35)
+        det.register("flaky", 1.0)
+        # Alternate short/very-long gaps: window CV far above the
+        # boundary, the gray/straggler signature.
+        for i in range(12):
+            env.run(until=env.now + (0.2 if i % 2 else 3.0))
+            det.heartbeat("flaky")
+        env.run(until=env.now + 40.0)
+        assert det.is_suspect("flaky")
+        assert det.suspect_reason("flaky") == "variance"
+        assert det.suspicions_by_reason == {"silence": 0, "variance": 1}
+
+    def test_never_heard_key_is_silence_by_definition(self):
+        env = Environment()
+        det = PhiAccrualDetector(env, threshold=8.0)
+        det.register("mute", 1.0)
+        env.run(until=60.0)
+        assert det.is_suspect("mute")
+        assert det.suspect_reason("mute") == "silence"
+
+    def test_reason_clears_with_the_suspicion(self):
+        env = Environment()
+        det = PhiAccrualDetector(env, threshold=8.0)
+        det.register("m", 1.0)
+        beat_regular(env, det, "m", 1.0, n=8)
+        env.run(until=env.now + 30.0)
+        assert det.is_suspect("m")
+        det.heartbeat("m")                 # it was alive after all
+        assert det.suspect_reason("m") is None
+        assert det.false_suspicions == 1
+        # The all-time reason ledger is never decremented.
+        assert det.suspicions_by_reason["silence"] == 1
