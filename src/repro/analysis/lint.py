@@ -4,6 +4,12 @@ Usage::
 
     python -m repro.analysis.lint src/ [--format=text|json]
         [--baseline .simlint-baseline] [--no-baseline] [--write-baseline]
+        [--rules SL007,SL008] [--prune-baseline]
+
+Every run applies both the per-file rules (SL001–SL006) and the
+whole-program rules (SL007–SL010 plus the interprocedural SL001 flow
+pass): the linted files are parsed once into a project call graph, so a
+single file is simply a one-module project.
 
 Exit codes: 0 clean (modulo baseline), 1 findings, 2 usage/parse error.
 """
@@ -17,9 +23,11 @@ import sys
 from typing import Iterable, Optional
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.graph import build_project
+from repro.analysis.project_rules import PROJECT_RULES, run_project_rules
 from repro.analysis.rules import RULES, Finding, lint_source
 
-__all__ = ["lint_file", "lint_paths", "main"]
+__all__ = ["lint_file", "lint_paths", "lint_sources", "main"]
 
 
 def _iter_py_files(path: str):
@@ -45,24 +53,46 @@ def _rel(path: str, root: Optional[str]) -> str:
     return rel.replace(os.sep, "/")
 
 
+def lint_sources(sources: dict[str, str]) -> list[Finding]:
+    """Lint ``{path: source}``: per-file rules plus the project pass."""
+    findings: list[Finding] = []
+    for path, source in sorted(sources.items()):
+        findings.extend(lint_source(source, path=path))
+    project = build_project(sources)
+    findings.extend(run_project_rules(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
 def lint_file(path: str, root: Optional[str] = None) -> list[Finding]:
     """Lint one file; paths in findings are relative to ``root`` (or cwd)."""
     with open(path, encoding="utf-8") as fh:
         source = fh.read()
-    return lint_source(source, path=_rel(path, root))
+    return lint_sources({_rel(path, root): source})
 
 
 def lint_paths(paths: Iterable[str],
                root: Optional[str] = None) -> list[Finding]:
     """Lint files and directory trees; returns all findings, sorted."""
-    findings: list[Finding] = []
+    sources: dict[str, str] = {}
     for path in paths:
         if not os.path.exists(path):
             raise FileNotFoundError(path)
         for file_path in _iter_py_files(path):
-            findings.extend(lint_file(file_path, root=root))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
-    return findings
+            with open(file_path, encoding="utf-8") as fh:
+                sources[_rel(file_path, root)] = fh.read()
+    return lint_sources(sources)
+
+
+def _rule_catalog() -> dict[str, str]:
+    catalog = {r.code: r.summary for r in RULES}
+    for r in PROJECT_RULES:
+        catalog.setdefault(r.code, r.summary)
+    return catalog
+
+
+def _known_codes() -> set[str]:
+    return {r.code for r in RULES} | {r.code for r in PROJECT_RULES}
 
 
 def _render_text(new: list[Finding], known: list[Finding]) -> str:
@@ -81,15 +111,15 @@ def _render_json(new: list[Finding], known: list[Finding]) -> str:
         "findings": [f.to_dict() for f in new],
         "baselined": [f.to_dict() for f in known],
         "count": len(new),
-        "rules": {r.code: r.summary for r in RULES},
+        "rules": _rule_catalog(),
     }, indent=2)
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="simlint: determinism & resource-safety checks "
-                    "for the sim kernel and its domain models.")
+        description="simlint: determinism, shard-safety, layering and "
+                    "perf checks for the sim kernel and its domains.")
     parser.add_argument("paths", nargs="+", help="files or directories")
     parser.add_argument("--format", choices=("text", "json"), default="text")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE_NAME,
@@ -98,7 +128,24 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="report baselined findings as failures too")
     parser.add_argument("--write-baseline", action="store_true",
                         help="accept all current findings into the baseline")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="drop baseline entries that no longer match "
+                             "any finding, rewrite the file, and report "
+                             "what was pruned")
+    parser.add_argument("--rules", default=None, metavar="CODES",
+                        help="comma-separated rule codes to report "
+                             "(e.g. SL007,SL008); default: all")
     args = parser.parse_args(argv)
+
+    selected: Optional[set[str]] = None
+    if args.rules:
+        selected = {c.strip().upper() for c in args.rules.split(",")
+                    if c.strip()}
+        unknown = selected - _known_codes()
+        if unknown:
+            print(f"simlint: unknown rule code(s): "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
 
     # Anchor finding paths to the baseline's directory, so entries match
     # no matter which cwd the linter is invoked from.
@@ -112,6 +159,26 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"simlint: cannot parse {err.filename}:{err.lineno}: {err.msg}",
               file=sys.stderr)
         return 2
+
+    if selected is not None:
+        findings = [f for f in findings if f.code in selected]
+
+    if args.prune_baseline:
+        baseline = Baseline.load_if_exists(args.baseline)
+        live = {(f.code, f.path, f.snippet) for f in findings}
+        stale = sorted(baseline.entries - live)
+        if stale:
+            # Only rewrite when something actually goes: hand-written
+            # comments in the file survive a clean audit.
+            baseline.entries &= live
+            baseline.write(args.baseline, [
+                Finding(code=c, path=p, line=0, col=0, message="", snippet=s)
+                for c, p, s in sorted(baseline.entries)])
+        for code, path, snippet in stale:
+            print(f"pruned: {code}\t{path}\t{snippet}")
+        print(f"pruned {len(stale)} stale entr(y/ies); "
+              f"{len(baseline.entries)} kept in {args.baseline}")
+        return 0
 
     if args.write_baseline:
         Baseline().write(args.baseline, findings)

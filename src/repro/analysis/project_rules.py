@@ -1,0 +1,654 @@
+"""Whole-program simlint rules: SL007–SL010 and the SL001 flow pass.
+
+These rules run over a :class:`repro.analysis.graph.Project` rather
+than one module at a time (contrast :mod:`repro.analysis.rules`):
+
+SL001 (flow)  interprocedural RNG provenance
+    The syntactic SL001 catches ``default_rng()`` written unseeded at
+    the call site. This pass follows *seed parameters* through the call
+    graph: a parameter that flows into an RNG constructor's seed slot —
+    directly or through further calls — marks every caller that omits
+    it (against a ``None`` default) or passes ``None`` explicitly. The
+    finding names the whole helper chain, so an unseeded draw hidden
+    two helpers deep is reported at the call that forgot the seed.
+
+SL007  module-level mutable state written from sim-process code
+    The shard-safety killer: a dict/list/set at module scope mutated by
+    code reachable from a sim process is shared across every
+    environment in the interpreter — two shards, one counter. Flagged
+    at the write site, with call-graph reachability (not text
+    proximity) deciding "from sim-process code".
+
+SL008  architecture layering
+    Imports must follow the DAG declared in
+    :mod:`repro.analysis.layers` (``sim`` imports nothing, domains
+    never import each other, observability is imported by nobody below
+    it). PR 6's "sim never imports faults" comment is now a lint.
+
+SL009  hot-path performance
+    In the manifest's hot files, per-event classes (Event subclasses
+    and the listed extras) must declare ``__slots__``; inside the
+    designated event-loop functions, repeated ``self.<attr>`` loads
+    under a loop must be pre-bound to locals (attributes the function
+    assigns are exempt — they are live state, not loop-invariant).
+
+SL010  unbounded growth in never-exiting sim processes
+    ``append``/``add`` inside a ``while True`` loop (no break/return)
+    of a sim process, on a container with no eviction anywhere in its
+    owning scope and no ``deque(maxlen=...)`` bound: the memory leak
+    that kills long sims, found before the 10-hour run does.
+
+All rules share the project discipline: dynamic dispatch resolves to
+UNKNOWN and UNKNOWN never produces a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.graph import (
+    EXTERNAL,
+    PROJECT,
+    FunctionInfo,
+    Project,
+    ProjectModule,
+)
+from repro.analysis.layers import (
+    EVENT_LOOP_FUNCTIONS,
+    HARNESS,
+    HOT_FILE_SUFFIXES,
+    LAYERS,
+    SLOTS_REQUIRED,
+    layer_for_module,
+)
+from repro.analysis.rules import Finding
+
+__all__ = ["PROJECT_RULES", "ProjectRule", "run_project_rules"]
+
+
+@dataclass(frozen=True)
+class ProjectRule:
+    code: str
+    summary: str
+    check: Callable[[Project], list]
+
+
+_MISSING = object()
+
+
+def _display(info: FunctionInfo) -> str:
+    if info.class_name:
+        return f"{info.class_name}.{info.name}"
+    return info.name
+
+
+# -- SL001 flow: interprocedural RNG provenance -----------------------------
+
+#: External constructors whose first/``seed`` argument seeds the RNG.
+_RNG_SINKS = {"random.Random", "numpy.random.RandomState",
+              "numpy.random.default_rng"}
+#: Zero-argument construction of these is wall-clock-seeded — silently
+#: nondeterministic (the syntactic SL001 only catches default_rng()).
+_IMPLICIT_SEED_CTORS = {"random.Random", "numpy.random.RandomState"}
+
+
+def _reassigned_params(info: FunctionInfo) -> set[str]:
+    params = set(info.params)
+    out = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id in params:
+                out.add(node.id)
+    return out
+
+
+def _map_args(call: ast.Call, target: FunctionInfo) -> Optional[dict]:
+    """Map a call's arguments onto the target's parameter names.
+
+    Returns ``{param: expr}`` for supplied arguments; ``*args``/``**kw``
+    forwarding makes the mapping unusable, so we return None
+    (conservative: no finding).
+    """
+    if any(isinstance(a, ast.Starred) for a in call.args) or any(
+            kw.arg is None for kw in call.keywords):
+        return None
+    params = list(target.params)
+    if target.class_name is not None and params and params[0] in (
+            "self", "cls"):
+        params = params[1:]
+    mapping: dict = {}
+    for param, arg in zip(params, call.args):
+        mapping[param] = arg
+    for kw in call.keywords:
+        if kw.arg in target.params:
+            mapping[kw.arg] = kw.value
+    return mapping
+
+
+def _seed_arg(call: ast.Call) -> object:
+    """The expr in an RNG constructor's seed slot, or _MISSING."""
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "seed":
+            return kw.value
+    return _MISSING
+
+
+def _seed_param_chains(project: Project) -> dict[str, dict[str, tuple]]:
+    """Fixed point: function -> {param -> chain of hops to the RNG}."""
+    reassigned = {q: _reassigned_params(info)
+                  for q, info in project.functions.items()}
+    chains: dict[str, dict[str, tuple]] = {q: {} for q in project.functions}
+    changed = True
+    while changed:
+        changed = False
+        for qual, info in project.functions.items():
+            params = set(info.params) - reassigned[qual]
+            for site in project.callees(qual):
+                hop: Optional[tuple[str, tuple]] = None
+                if site.kind == EXTERNAL and site.target in _RNG_SINKS:
+                    arg = _seed_arg(site.node)
+                    if isinstance(arg, ast.Name) and arg.id in params:
+                        hop = (arg.id, (site.target,))
+                elif site.kind == PROJECT and site.target in chains:
+                    target = project.functions.get(site.target)
+                    if target is None:
+                        continue
+                    mapping = _map_args(site.node, target)
+                    if mapping is None:
+                        continue
+                    for q_param, chain in chains[site.target].items():
+                        arg = mapping.get(q_param, _MISSING)
+                        if isinstance(arg, ast.Name) and arg.id in params:
+                            hop = (arg.id,
+                                   (_display(target),) + chain)
+                            break
+                if hop is not None:
+                    param, chain = hop
+                    if param not in chains[qual]:
+                        chains[qual][param] = chain
+                        changed = True
+    return chains
+
+
+def _check_sl001_flow(project: Project) -> list[Finding]:
+    out = []
+    chains = _seed_param_chains(project)
+    for caller, sites in project.calls.items():
+        for site in sites:
+            pm = project.modules[site.module]
+            if site.kind == EXTERNAL and site.target in _IMPLICIT_SEED_CTORS:
+                fn = pm.mod.enclosing_function(site.node)
+                if fn is None:
+                    continue  # module level: syntactic SL001 owns it
+                if _seed_arg(site.node) is _MISSING:
+                    out.append(pm.mod.finding(
+                        "SL001", site.node,
+                        f"unseeded {site.target}() — wall-clock-seeded and "
+                        "nondeterministic across runs; derive the seed from "
+                        "RandomStreams"))
+                continue
+            if site.kind != PROJECT or site.target not in chains:
+                continue
+            target = project.functions.get(site.target)
+            if target is None or not chains[site.target]:
+                continue
+            mapping = _map_args(site.node, target)
+            if mapping is None:
+                continue
+            for param, chain in chains[site.target].items():
+                arg = mapping.get(param, _MISSING)
+                omitted = (arg is _MISSING and isinstance(
+                    target.param_default(param), ast.Constant)
+                    and target.param_default(param).value is None)
+                explicit_none = (isinstance(arg, ast.Constant)
+                                 and arg.value is None)
+                if omitted or explicit_none:
+                    route = " -> ".join((_display(target),) + chain)
+                    how = ("omits" if omitted else "passes None for")
+                    out.append(pm.mod.finding(
+                        "SL001", site.node,
+                        f"call {how} {param!r}; the RNG is reached unseeded "
+                        f"via {route} — pass a seed derived from "
+                        "RandomStreams"))
+    return out
+
+
+# -- SL007: module-level mutable state written from sim processes -----------
+
+_MUTABLE_CTORS = {"dict", "list", "set", "defaultdict", "deque", "Counter",
+                  "OrderedDict"}
+_MUTATORS = {"append", "appendleft", "add", "update", "setdefault", "pop",
+             "popleft", "popitem", "extend", "insert", "clear", "remove",
+             "discard"}
+
+
+def _is_mutable_ctor(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                          ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def _module_mutables(pm: ProjectModule) -> dict[str, ast.AST]:
+    """Module-level names bound to mutable containers."""
+    out: dict[str, ast.AST] = {}
+    for stmt in pm.tree.body:
+        target = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        else:
+            continue
+        if isinstance(target, ast.Name) and _is_mutable_ctor(value):
+            out[target.id] = stmt
+    return out
+
+
+def _local_names(info: FunctionInfo) -> set[str]:
+    """Names that are local in this function (params + plain stores)."""
+    declared_global: set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+    out = set(info.params)
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)):
+            if node.id not in declared_global:
+                out.add(node.id)
+    return out
+
+
+def _check_sl007(project: Project) -> list[Finding]:
+    registry: dict[str, tuple[ProjectModule, str]] = {}
+    for pm in project.modules.values():
+        for name, stmt in _module_mutables(pm).items():
+            registry[f"{pm.name}.{name}"] = (pm, name)
+    if not registry:
+        return []
+    reachable = project.reachable_from(project.sim_process_roots())
+
+    def resolve_target(pm: ProjectModule, locals_: set,
+                       expr: ast.expr) -> Optional[str]:
+        """Dotted name of the module-level mutable ``expr`` names."""
+        if isinstance(expr, ast.Name):
+            if expr.id in locals_:
+                return None
+            dotted = f"{pm.name}.{expr.id}"
+            if dotted in registry:
+                return dotted
+            if expr.id in pm.imports:
+                dotted = pm.imports[expr.id]
+                return dotted if dotted in registry else None
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(
+                expr.value, ast.Name):
+            alias = expr.value.id
+            if alias in locals_ or alias not in pm.imports:
+                return None
+            dotted = f"{pm.imports[alias]}.{expr.attr}"
+            return dotted if dotted in registry else None
+        return None
+
+    out = []
+    for qual, info in project.functions.items():
+        if qual not in reachable:
+            continue
+        pm = project.modules[info.module]
+        locals_ = _local_names(info)
+        declared_global = {n for node in ast.walk(info.node)
+                           if isinstance(node, ast.Global)
+                           for n in node.names}
+
+        def flag(node, dotted):
+            out.append(pm.mod.finding(
+                "SL007", node,
+                f"write to module-level mutable state {dotted!r} from "
+                f"sim-process-reachable code ({_display(info)}); process "
+                "state shared across environments is shard-unsafe — move "
+                "it onto the world object"))
+
+        for node in ast.walk(info.node):
+            if pm.mod.enclosing_function(node) is not info.node:
+                continue
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS):
+                dotted = resolve_target(pm, locals_, node.func.value)
+                if dotted is not None:
+                    flag(node, dotted)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else node.targets if isinstance(node, ast.Delete)
+                           else [node.target])
+                for t in targets:
+                    if isinstance(t, ast.Subscript):
+                        dotted = resolve_target(pm, locals_, t.value)
+                        if dotted is not None:
+                            flag(node, dotted)
+                    elif (isinstance(t, ast.Name)
+                          and t.id in declared_global
+                          and f"{pm.name}.{t.id}" in registry):
+                        flag(node, f"{pm.name}.{t.id}")
+    return out
+
+
+# -- SL008: architecture layering -------------------------------------------
+
+def _import_packages(pm: ProjectModule):
+    """Yield (import node, imported repro package) pairs."""
+    for node in ast.walk(pm.tree):
+        targets = []
+        if isinstance(node, ast.Import):
+            targets = [a.name for a in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            base = pm.import_base(node)
+            if base:
+                targets = [base] + [f"{base}.{a.name}" for a in node.names]
+        pkgs = set()
+        for dotted in targets:
+            parts = dotted.split(".")
+            if len(parts) >= 2 and parts[0] == "repro":
+                pkgs.add(parts[1])
+        for pkg in sorted(pkgs):
+            yield node, pkg
+
+
+def _check_sl008(project: Project) -> list[Finding]:
+    out = []
+    for pm in project.modules.values():
+        layer = layer_for_module(pm.name, pm.path)
+        if layer is None or layer == HARNESS:
+            continue
+        allowed = LAYERS.get(layer)
+        if allowed is None:
+            node = pm.tree.body[0] if pm.tree.body else None
+            if node is not None:
+                out.append(pm.mod.finding(
+                    "SL008", node,
+                    f"package {layer!r} is not in the layer manifest "
+                    "(repro.analysis.layers.LAYERS); place it in the "
+                    "dependency DAG"))
+            continue
+        seen: set[tuple[int, str]] = set()
+        for node, pkg in _import_packages(pm):
+            if pkg == layer or pkg in allowed:
+                continue
+            key = (node.lineno, pkg)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(pm.mod.finding(
+                "SL008", node,
+                f"layer {layer!r} may not import repro.{pkg} (allowed: "
+                f"{', '.join(sorted(allowed)) or 'nothing'}); the "
+                "architecture DAG is declared in repro.analysis.layers"))
+    return out
+
+
+# -- SL009: hot-path performance --------------------------------------------
+
+_EXC_SUFFIXES = ("Exception", "Error", "Warning", "Interrupt")
+
+
+def _is_exception_class(project: Project, cinfo) -> bool:
+    names = set(project.base_names(cinfo)) | project.transitive_bases(cinfo)
+    return any(n.split(".")[-1].endswith(_EXC_SUFFIXES) for n in names)
+
+
+def _is_event_subclass(project: Project, cinfo) -> bool:
+    return any(n == "Event" or n.endswith(".Event")
+               for n in project.transitive_bases(cinfo))
+
+
+def _check_sl009(project: Project) -> list[Finding]:
+    out = []
+    # (a) per-event classes in hot files must be slotted.
+    for pm in project.modules.values():
+        norm = pm.path.replace("\\", "/")
+        if not any(norm.endswith(suffix) for suffix in HOT_FILE_SUFFIXES):
+            continue
+        for cinfo in pm.classes.values():
+            if cinfo.has_slots or _is_exception_class(project, cinfo):
+                continue
+            required = (cinfo.qualname in SLOTS_REQUIRED
+                        or _is_event_subclass(project, cinfo))
+            if required:
+                out.append(pm.mod.finding(
+                    "SL009", cinfo.node,
+                    f"per-event class {cinfo.name} in a hot file has no "
+                    "__slots__; instances carry a dict the kernel allocates "
+                    "per event — declare __slots__ (or "
+                    "@dataclass(slots=True))"))
+    # (b) designated event loops: repeated self.<attr> loads under a loop.
+    for qual in sorted(EVENT_LOOP_FUNCTIONS):
+        info = project.functions.get(qual)
+        if info is None:
+            continue
+        pm = project.modules[info.module]
+        stored = set()
+        for node in ast.walk(info.node):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, (ast.Store, ast.Del))
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                stored.add(node.attr)
+        flagged = set()
+        for node in ast.walk(info.node):
+            if not (isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                continue
+            if node.attr in stored or node.attr in flagged:
+                continue
+            in_loop = False
+            for anc in pm.mod.ancestors(node):
+                if anc is info.node:
+                    break
+                if isinstance(anc, (ast.For, ast.While)):
+                    in_loop = True
+                    break
+            if in_loop:
+                flagged.add(node.attr)
+                out.append(pm.mod.finding(
+                    "SL009", node,
+                    f"self.{node.attr} loaded inside the "
+                    f"{_display(info)} event loop; pre-bind it to a local "
+                    "before the loop (this function is in "
+                    "layers.EVENT_LOOP_FUNCTIONS)"))
+    return out
+
+
+# -- SL010: unbounded growth in never-exiting sim processes -----------------
+
+_GROWTH = {"append", "add"}
+_EVICTIONS = {"pop", "popleft", "popitem", "clear", "remove", "discard"}
+
+
+def _loop_never_exits(pm: ProjectModule, loop: ast.While) -> bool:
+    if not (isinstance(loop.test, ast.Constant) and loop.test.value):
+        return False
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Return):
+            return False
+        if isinstance(node, ast.Break):
+            # Belongs to this loop only if no nearer loop encloses it.
+            anc = pm.mod.parents.get(node)
+            while anc is not None and anc is not loop:
+                if isinstance(anc, (ast.For, ast.While)):
+                    break
+                anc = pm.mod.parents.get(anc)
+            if anc is loop:
+                return False
+    return True
+
+
+def _target_key(expr: ast.expr):
+    if isinstance(expr, ast.Name):
+        return ("name", expr.id)
+    if isinstance(expr, ast.Attribute):
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            return ("self", expr.attr)
+        # ``self.archive.records`` keys on the owning attribute, so an
+        # eviction through a sub-container matches its owner's growth.
+        inner = expr.value
+        if (isinstance(inner, ast.Attribute)
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id == "self"):
+            return ("self", inner.attr)
+    return None
+
+
+def _binding_values(scope: ast.AST, key) -> list[ast.expr]:
+    """Values assigned to ``key`` anywhere under ``scope``."""
+    out = []
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            if any(_target_key(t) == key for t in node.targets):
+                out.append(node.value)
+        elif (isinstance(node, ast.AnnAssign) and node.value is not None
+              and _target_key(node.target) == key):
+            out.append(node.value)
+    return out
+
+
+def _is_bounded_deque(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = (func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None)
+    if name != "deque":
+        return False
+    return any(kw.arg == "maxlen"
+               and not (isinstance(kw.value, ast.Constant)
+                        and kw.value.value is None)
+               for kw in value.keywords)
+
+
+def _evicts_in(scope: ast.AST, key) -> bool:
+    """An eviction call or item-delete on ``key`` under ``scope``."""
+    for node in ast.walk(scope):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _EVICTIONS
+                and _target_key(node.func.value) == key):
+            return True
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, (ast.Store, ast.Del))
+                and _target_key(node.value) == key):
+            return True
+    return False
+
+
+def _has_eviction_or_bound(project: Project, info: FunctionInfo,
+                           loop: ast.While, key) -> bool:
+    pm = project.modules[info.module]
+    kind, _ = key
+    if kind == "self" and info.class_name is not None:
+        cinfo = pm.classes.get(info.class_name)
+        if cinfo is None:
+            return True  # can't see the class: no finding
+        if any(_is_bounded_deque(v)
+               for v in _binding_values(cinfo.node, key)):
+            return True
+        if _evicts_in(cinfo.node, key):
+            return True
+        # Rebinding outside __init__ (a flush method, a reset in the
+        # loop) is an eviction point; the __init__ binding is just the
+        # container's birth.
+        for method in cinfo.methods.values():
+            if method.name != "__init__" and _binding_values(
+                    method.node, key):
+                return True
+        return False
+    # Local or module-global name.
+    if any(_is_bounded_deque(v) for v in _binding_values(info.node, key)):
+        return True
+    if _evicts_in(info.node, key):
+        return True
+    if _binding_values(loop, key):
+        return True  # re-bound inside the loop: resets each round
+    if key[1] not in _local_names(info):
+        # Module global: another function may drain it; stay
+        # conservative and look module-wide.
+        if any(_is_bounded_deque(v)
+               for v in _binding_values(pm.tree, key)):
+            return True
+        if _evicts_in(pm.tree, key):
+            return True
+    return False
+
+
+def _check_sl010(project: Project) -> list[Finding]:
+    out = []
+    for qual, info in sorted(project.functions.items()):
+        if not info.is_sim_process:
+            continue
+        pm = project.modules[info.module]
+        for loop in ast.walk(info.node):
+            if not isinstance(loop, ast.While):
+                continue
+            if pm.mod.enclosing_function(loop) is not info.node:
+                continue
+            if not _loop_never_exits(pm, loop):
+                continue
+            flagged = set()
+            for node in ast.walk(loop):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _GROWTH):
+                    continue
+                key = _target_key(node.func.value)
+                if key is None or key in flagged:
+                    continue
+                if _has_eviction_or_bound(project, info, loop, key):
+                    continue
+                flagged.add(key)
+                owner = ("self." if key[0] == "self" else "") + key[1]
+                out.append(pm.mod.finding(
+                    "SL010", node,
+                    f"unbounded .{node.func.attr}() on {owner} inside a "
+                    f"never-exiting sim process ({_display(info)}); add an "
+                    "eviction path or use deque(maxlen=...) — long sims "
+                    "leak otherwise"))
+    return out
+
+
+PROJECT_RULES: list[ProjectRule] = [
+    ProjectRule("SL001", "interprocedural RNG provenance",
+                _check_sl001_flow),
+    ProjectRule("SL007", "module-level mutable state written from "
+                "sim-process code", _check_sl007),
+    ProjectRule("SL008", "architecture layering DAG violation",
+                _check_sl008),
+    ProjectRule("SL009", "hot-path class without __slots__ / unbound "
+                "event-loop attribute", _check_sl009),
+    ProjectRule("SL010", "unbounded growth in a never-exiting sim process",
+                _check_sl010),
+]
+
+
+def run_project_rules(project: Project) -> list[Finding]:
+    """Run every project rule, honoring inline suppressions."""
+    by_path = {pm.path: pm for pm in project.modules.values()}
+    findings = []
+    for rule in PROJECT_RULES:
+        for f in rule.check(project):
+            pm = by_path.get(f.path)
+            if pm is not None and pm.mod.suppressed(f):
+                continue
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings

@@ -10,12 +10,19 @@ detectors and memory sanitizers back up code review:
   up as a digest mismatch with the first diverging step.
 - :class:`ResourceLeakSanitizer` audits tracked resources/machines at
   teardown for outstanding acquires — the runtime analogue of SL004.
+- :class:`SharedStateSanitizer` is the shard-safety race detector: wrap a
+  shared container with :meth:`~SharedStateSanitizer.watch` and it flags
+  two processes writing it at the same sim timestamp with no ordering
+  event between the writes — exactly the accesses that would diverge if
+  the two processes landed on different shards of a distributed run.
 """
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import struct
+import weakref
 from typing import Any, Callable, Optional
 
 from repro.sim.environment import Environment
@@ -25,7 +32,12 @@ __all__ = [
     "DeterminismViolation",
     "ResourceLeakError",
     "ResourceLeakSanitizer",
+    "SharedStateSanitizer",
+    "SharedStateViolation",
     "TraceDigest",
+    "WatchedDict",
+    "WatchedList",
+    "WatchedSet",
 ]
 
 
@@ -170,3 +182,235 @@ class ResourceLeakSanitizer:
         # Only audit on clean exit; don't mask the original exception.
         if exc_type is None:
             self.check()
+
+
+# -- shared-state (shard-safety) sanitizer ----------------------------------
+
+class SharedStateViolation(AssertionError):
+    """Two processes wrote a watched object at one timestamp, unordered.
+
+    Same-timestamp writes are only deterministic here because the kernel
+    breaks ties by event id; in a sharded deployment the two writers race.
+    An ordering event (one process triggers an event the other waited on,
+    directly or transitively) makes the second write legitimate.
+    """
+
+
+class _Watched:
+    """Mixin for watched containers: report every mutation to the owner."""
+
+    _sanitizer: Optional["SharedStateSanitizer"] = None
+    _shared_name: str = "shared"
+    _frontier: dict
+
+    def _note_write(self, op: str) -> None:
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer._on_write(self, op)
+
+
+def _mutator(base_method):
+    """Wrap a built-in mutating method to notify the sanitizer first."""
+    @functools.wraps(base_method)
+    def method(self, *args, **kwargs):
+        self._note_write(base_method.__name__)
+        return base_method(self, *args, **kwargs)
+    return method
+
+
+class WatchedDict(_Watched, dict):
+    """``dict`` whose mutations are audited for same-timestamp races."""
+
+    __setitem__ = _mutator(dict.__setitem__)
+    __delitem__ = _mutator(dict.__delitem__)
+    __ior__ = _mutator(dict.__ior__)
+    pop = _mutator(dict.pop)
+    popitem = _mutator(dict.popitem)
+    clear = _mutator(dict.clear)
+    update = _mutator(dict.update)
+    setdefault = _mutator(dict.setdefault)
+
+
+class WatchedList(_Watched, list):
+    """``list`` whose mutations are audited for same-timestamp races."""
+
+    __setitem__ = _mutator(list.__setitem__)
+    __delitem__ = _mutator(list.__delitem__)
+    __iadd__ = _mutator(list.__iadd__)
+    __imul__ = _mutator(list.__imul__)
+    append = _mutator(list.append)
+    extend = _mutator(list.extend)
+    insert = _mutator(list.insert)
+    pop = _mutator(list.pop)
+    remove = _mutator(list.remove)
+    sort = _mutator(list.sort)
+    reverse = _mutator(list.reverse)
+    clear = _mutator(list.clear)
+
+
+class WatchedSet(_Watched, set):
+    """``set`` whose mutations are audited for same-timestamp races."""
+
+    __ior__ = _mutator(set.__ior__)
+    __iand__ = _mutator(set.__iand__)
+    __isub__ = _mutator(set.__isub__)
+    __ixor__ = _mutator(set.__ixor__)
+    add = _mutator(set.add)
+    discard = _mutator(set.discard)
+    remove = _mutator(set.remove)
+    pop = _mutator(set.pop)
+    clear = _mutator(set.clear)
+    update = _mutator(set.update)
+    difference_update = _mutator(set.difference_update)
+    intersection_update = _mutator(set.intersection_update)
+    symmetric_difference_update = _mutator(set.symmetric_difference_update)
+
+
+def _process_label(proc: Any) -> str:
+    generator = getattr(proc, "_generator", None)
+    return getattr(generator, "__name__", None) or repr(proc)
+
+
+class SharedStateSanitizer:
+    """Flags unordered same-timestamp writes to watched shared state.
+
+    The static rule SL007 finds module-level mutable state *reachable*
+    from sim processes; this sanitizer proves, at runtime, which of those
+    objects are actually written concurrently. The algorithm is a small
+    happens-before tracker (a vector clock over processes):
+
+    - every write and every event scheduling bumps a global sequence
+      counter;
+    - when process ``P`` schedules an event (``succeed``, a timeout, a
+      spawn), the event is stamped with a snapshot of everything ``P``
+      has seen so far, including ``P``'s own writes up to that instant;
+    - when a process wakes (the kernel exposes the dispatching event via
+      ``env._current_event``) and then writes, it first absorbs the
+      waking event's snapshot — that is the ordering edge;
+    - each watched object keeps a *frontier* of the last write per
+      process at the current timestamp. A write is a violation if some
+      other process's frontier write at the same timestamp is **not** in
+      the writer's absorbed knowledge.
+
+    Writes outside any process (scenario setup/teardown) are exempt, as
+    are writes at distinct timestamps — simulated time itself orders
+    those.
+
+    Use as a context manager so the kernel hook is uninstalled on exit::
+
+        with SharedStateSanitizer(env) as sanitizer:
+            log = sanitizer.watch([], name="completion-log")
+            ... build processes that share ``log`` ...
+            env.run()
+    """
+
+    def __init__(self, env: Environment, strict: bool = True):
+        self.env = env
+        #: When ``False``, violations are recorded but not raised.
+        self.strict = strict
+        self.violations: list[str] = []
+        self._seq = 0
+        self._watched = 0
+        # Process -> {writer-process: highest seq of writer's actions seen}.
+        self._seen: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+        # Event -> snapshot of the scheduler's knowledge at schedule time.
+        self._snapshots: weakref.WeakKeyDictionary = \
+            weakref.WeakKeyDictionary()
+        self._prev_hook = env._on_schedule
+        env._on_schedule = self._note_schedule
+
+    def close(self) -> None:
+        """Uninstall the kernel scheduling hook (idempotent)."""
+        if self.env._on_schedule == self._note_schedule:
+            self.env._on_schedule = self._prev_hook
+
+    def __enter__(self) -> "SharedStateSanitizer":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.close()
+
+    def watch(self, obj: Any, name: Optional[str] = None) -> Any:
+        """Wrap a ``dict``/``list``/``set`` in a watched copy; returns it.
+
+        The original is shallow-copied — share the *returned* object.
+        """
+        if isinstance(obj, dict):
+            watched: Any = WatchedDict(obj)
+        elif isinstance(obj, list):
+            watched = WatchedList(obj)
+        elif isinstance(obj, (set, frozenset)):
+            watched = WatchedSet(obj)
+        else:
+            raise TypeError(
+                f"cannot watch {type(obj).__name__}; expected dict, list "
+                "or set")
+        self._watched += 1
+        watched._sanitizer = self
+        watched._shared_name = name or f"{type(obj).__name__}#{self._watched}"
+        watched._frontier = {}
+        return watched
+
+    # -- kernel hooks --------------------------------------------------------
+    def _absorb(self, proc: Any) -> None:
+        """Merge the knowledge carried by the event that woke ``proc``.
+
+        Called on every action ``proc`` takes (write or schedule), so
+        ordering flows transitively even through processes that only
+        relay — wake on one event, trigger another — without writing.
+        """
+        event = self.env._current_event
+        if event is None:
+            return
+        snapshot = self._snapshots.get(event)
+        if snapshot:
+            mine = self._seen.setdefault(proc, {})
+            for writer, upto in snapshot.items():
+                if mine.get(writer, -1) < upto:
+                    mine[writer] = upto
+
+    def _note_schedule(self, event: Any) -> None:
+        if self._prev_hook is not None:
+            self._prev_hook(event)
+        proc = self.env._active_process
+        if proc is None:
+            return
+        self._absorb(proc)
+        self._seq += 1
+        snapshot = dict(self._seen.get(proc, ()))
+        snapshot[proc] = self._seq
+        self._snapshots[event] = snapshot
+
+    def _on_write(self, watched: _Watched, op: str) -> None:
+        env = self.env
+        proc = env._active_process
+        if proc is None:
+            return
+        self._absorb(proc)
+        self._seq += 1
+        now = env.now
+        frontier = watched._frontier
+        mine = self._seen.get(proc, {})
+        # Frontier timestamps are verbatim copies of env.now (no float
+        # arithmetic), so exact comparison is the right tool here.
+        stale = [w for w, (t, _, _) in frontier.items()
+                 if t != now]  # simlint: disable=SL006
+        for writer in stale:
+            del frontier[writer]  # earlier timestamps: ordered by time
+        for writer, (t, seq, other_op) in list(frontier.items()):
+            if writer is proc:
+                continue
+            if mine.get(writer, -1) >= seq:
+                # An ordering event carried that write to us; it is now
+                # part of our past, so our write supersedes it.
+                del frontier[writer]
+                continue
+            message = (
+                f"{watched._shared_name}: unordered writes at t={now}: "
+                f"{_process_label(writer)} .{other_op}() then "
+                f"{_process_label(proc)} .{op}() with no ordering event "
+                "between them")
+            self.violations.append(message)
+            if self.strict:
+                raise SharedStateViolation(message)
+        frontier[proc] = (now, self._seq, op)

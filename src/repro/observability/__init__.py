@@ -23,7 +23,7 @@ explicitly.
 """
 
 from repro.observability.profiler import ProfileEntry, SimProfiler
-from repro.observability.registry import (
+from repro.sim.registry import (
     METRIC_NAME_RE,
     MetricsRegistry,
     metric_name,

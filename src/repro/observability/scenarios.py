@@ -21,7 +21,7 @@ import math
 
 import numpy as np
 
-from repro.observability.registry import MetricsRegistry
+from repro.sim.registry import MetricsRegistry
 from repro.observability.trace import Tracer
 
 #: Bump together with a scenario change that intentionally rewrites its

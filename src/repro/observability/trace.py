@@ -51,7 +51,7 @@ def _jsonable_tag(value: Any) -> Any:
     return str(value)
 
 
-@dataclass
+@dataclass(slots=True)
 class SpanEvent:
     """A point-in-time annotation inside a span (retry, crash, shed...)."""
 
@@ -67,7 +67,7 @@ class SpanEvent:
         return out
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """A named interval of simulated time, possibly nested under a parent."""
 

@@ -30,7 +30,8 @@ class BTWorldMonitor:
                  interval_s: float = 300.0,
                  coverage: float = 1.0,
                  rng: Optional[np.random.Generator] = None,
-                 filter_spam: bool = False):
+                 filter_spam: bool = False,
+                 max_samples: int = 100_000):
         if not 0 < coverage <= 1:
             raise ValueError("coverage must be in (0, 1]")
         if interval_s <= 0:
@@ -47,6 +48,8 @@ class BTWorldMonitor:
         else:
             self.observed = all_trackers[:n_observed]
         self.samples: list[TrackerStats] = []
+        #: Retention cap: beyond this the monitor keeps a sliding window.
+        self.max_samples = int(max_samples)
         self.archive = TraceArchive(
             name="btworld", domain="p2p", instrument="btworld-monitor",
             provenance=f"interval={interval_s}s coverage={coverage}")
@@ -59,6 +62,12 @@ class BTWorldMonitor:
                     continue
                 for torrent_id in tracker.torrents():
                     stats = tracker.scrape(torrent_id, self.env.now)
+                    if len(self.samples) >= self.max_samples:
+                        # Evict the oldest scrape so week-long sims do
+                        # not grow without bound (simlint SL010); the
+                        # aggregate views then reflect a sliding window.
+                        self.samples.pop(0)
+                        self.archive.records.pop(0)
                     self.samples.append(stats)
                     self.archive.add(
                         self.env.now, "scrape", entity=tracker.name,

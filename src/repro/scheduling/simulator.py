@@ -325,31 +325,40 @@ class ClusterSimulator:
             return  # a dead scheduler dispatches nothing
         if self.pre_schedule is not None and self.ready:
             self.pre_schedule()
+        # Hot loop: pre-bind everything stable across iterations (ready
+        # mutates in place via _start; policy/env never change mid-call).
+        ready = self.ready
+        policy = self.policy
+        env = self.env
+        first_fit = self._first_fit
+        start = self._start
+        earliest_head_start = self._earliest_head_start
+        allows_backfill = policy.allows_backfill()
         progress = True
         while progress:
             progress = False
-            if not self.ready:
+            if not ready:
                 return
-            ordered = self.policy.order(self.ready, self.env.now)
+            ordered = policy.order(ready, env.now)
             head = ordered[0]
-            machine = self._first_fit(head.cores, head.memory_gb)
+            machine = first_fit(head.cores, head.memory_gb)
             if machine is not None:
-                self._start(head, machine)
+                start(head, machine)
                 progress = True
                 continue
-            if not self.policy.allows_backfill():
+            if not allows_backfill:
                 return
             # EASY backfill: run later tasks that fit now and (by
             # estimate) finish before the head could possibly start.
-            shadow = self._earliest_head_start(head)
-            window = shadow - self.env.now
+            shadow = earliest_head_start(head)
+            window = shadow - env.now
             for task in ordered[1:]:
                 estimate = task.runtime_estimate or task.work
                 if estimate > window:
                     continue
-                machine = self._first_fit(task.cores, task.memory_gb)
+                machine = first_fit(task.cores, task.memory_gb)
                 if machine is not None:
-                    self._start(task, machine)
+                    start(task, machine)
                     progress = True
                     break
             if not progress:

@@ -59,7 +59,7 @@ class PlatformConfig:
     queue_capacity: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Invocation:
     """One function invocation and its measured life-cycle."""
 

@@ -70,6 +70,7 @@ from repro.sim.resources import (
 from repro.sim.rng import RandomStreams
 from repro.sim.monitor import Counter, Monitor, TimeSeries, summarize
 from repro.sim.network import Network
+from repro.sim.registry import METRIC_NAME_RE, MetricsRegistry, metric_name
 
 __all__ = [
     "AllOf",
@@ -82,6 +83,9 @@ __all__ = [
     "Event",
     "FilterStore",
     "Interrupt",
+    "METRIC_NAME_RE",
+    "MetricsRegistry",
+    "metric_name",
     "Monitor",
     "Network",
     "Preempted",

@@ -54,6 +54,12 @@ class Environment:
     #: per process; see :class:`repro.observability.SimProfiler`).
     _default_profiler = None
 
+    # The environment is touched on every dispatch; slots keep attribute
+    # access dict-free (class attributes above are unaffected by slots).
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "debug",
+                 "_tracers", "profiler", "dispatch_count", "_current_event",
+                 "_on_schedule")
+
     def __init__(self, initial_time: float = 0.0, debug: bool = False):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -72,6 +78,12 @@ class Environment:
         self.profiler = Environment._default_profiler
         #: Events dispatched so far (a non-negative, monotone counter).
         self.dispatch_count = 0
+        #: The event whose callbacks :meth:`step` is currently running;
+        #: sanitizers use it to attribute effects to their causing event.
+        self._current_event: Optional[Event] = None
+        #: Optional hook called as ``fn(event)`` whenever an event is
+        #: scheduled (see :class:`repro.analysis.SharedStateSanitizer`).
+        self._on_schedule: Optional[Callable[[Event], None]] = None
 
     @property
     def tracer(self) -> Optional[Callable[[float, int, str], None]]:
@@ -164,6 +176,8 @@ class Environment:
                 f"scheduling {event!r} with negative delay {delay}")
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event))
+        if self._on_schedule is not None:
+            self._on_schedule(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -180,6 +194,7 @@ class Environment:
                 f"dispatching {event!r}")
         self._now = t
         self.dispatch_count += 1
+        self._current_event = event
         profiler = self.profiler
         if self._tracers or profiler is not None:
             kind = type(event).__name__
@@ -196,6 +211,7 @@ class Environment:
                 callback(event)
                 profiler.account_callback(callback, profiler.clock() - c0)
             profiler.account_dispatch(kind, profiler.clock() - t0)
+        self._current_event = None
         if not event._ok and not event._defused:
             # An unhandled failure: surface it rather than losing it.
             raise event._value
@@ -229,8 +245,12 @@ class Environment:
             stop_event = None
 
         try:
-            while self._queue and self.peek() < stop_at:
-                self.step()
+            # Hot loop: pre-bind the queue and step; ``queue[0][0]`` is
+            # ``peek()`` without the attribute walk and truth-test detour.
+            queue = self._queue
+            step = self.step
+            while queue and queue[0][0] < stop_at:
+                step()
         except StopSimulation as stop:
             event = stop.args[0]
             if event._ok:

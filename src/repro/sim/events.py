@@ -35,6 +35,12 @@ class Event:
         The environment that will dispatch this event's callbacks.
     """
 
+    # Events are created per-dispatch on the kernel hot path; slots keep
+    # them dict-free. ``__weakref__`` stays so sanitizers can key weak maps
+    # on live events without pinning them.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused",
+                 "__weakref__")
+
     def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -106,6 +112,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -121,6 +129,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event that starts a newly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):  # noqa: F821
         super().__init__(env)
@@ -143,6 +153,8 @@ class Process(Event):
     value when it finishes (or fails with the escaping exception), so other
     processes can ``yield proc`` to join it.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):  # noqa: F821
         if not hasattr(generator, "throw"):
@@ -243,6 +255,8 @@ class Process(Event):
 class Condition(Event):
     """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
 
+    __slots__ = ("events", "_remaining")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):  # noqa: F821
         super().__init__(env)
         self.events = list(events)
@@ -272,6 +286,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when all constituent events have triggered."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -286,6 +302,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Triggers as soon as any constituent event triggers."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:

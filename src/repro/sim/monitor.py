@@ -103,7 +103,7 @@ class Monitor:
     def __init__(self, env=None, registry=None, namespace: str = "sim",
                  ordinal_time: bool = False):
         if registry is None:
-            from repro.observability.registry import MetricsRegistry
+            from repro.sim.registry import MetricsRegistry
             registry = MetricsRegistry()
         self.env = env
         self.registry = registry
@@ -116,7 +116,7 @@ class Monitor:
 
     def _registry_key(self, name: str) -> tuple[str, Optional[dict]]:
         """Map a local name to (registry name, labels)."""
-        from repro.observability.registry import metric_name
+        from repro.sim.registry import metric_name
         base, sep, key = name.partition(":")
         labels = {"key": key} if sep else None
         return metric_name(self.namespace, base), labels

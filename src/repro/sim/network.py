@@ -52,6 +52,11 @@ class Network:
     fabric without faults is behaviorally invisible to its users.
     """
 
+    # Every simulated message crosses this object; keep it dict-free.
+    __slots__ = ("env", "monitor", "default_latency_s", "_nodes", "_models",
+                 "sent", "delivered", "blocked", "dropped", "in_flight",
+                 "by_kind")
+
     def __init__(self, env: Environment, monitor: Optional[Monitor] = None,
                  default_latency_s: float = 0.0):
         if default_latency_s < 0:
@@ -140,21 +145,34 @@ class Network:
         - ``"in_flight"`` — a positive latency applies; ``deliver()`` runs
           after it (the message counts as in flight until then).
         """
-        self._require(src)
-        self._require(dst)
+        nodes = self._nodes
+        if src not in nodes:
+            self._require(src)
+        if dst not in nodes:
+            self._require(dst)
         self.sent += 1
-        self._book("sent", kind)
-        if not self.allows(src, dst):
-            self.blocked += 1
-            self._book(BLOCKED, kind)
-            return BLOCKED
-        for model in self._models:
+        # Hot path: walk the attached models once, pre-bound, instead of
+        # re-walking via allows()/latency_s() (each re-reads self._models).
+        models = self._models
+        book = self._book
+        book("sent", kind)
+        for model in models:
+            blocks = getattr(model, "blocks", None)
+            if blocks is not None and blocks(src, dst):
+                self.blocked += 1
+                book(BLOCKED, kind)
+                return BLOCKED
+        for model in models:
             drops = getattr(model, "drops", None)
             if drops is not None and drops(src, dst, kind):
                 self.dropped += 1
-                self._book(DROPPED, kind)
+                book(DROPPED, kind)
                 return DROPPED
-        delay = self.latency_s(src, dst)
+        delay = self.default_latency_s
+        for model in models:
+            extra = getattr(model, "extra_latency_s", None)
+            if extra is not None:
+                delay += float(extra(src, dst))
         if delay <= 0:
             self.delivered += 1
             self._book(DELIVERED, kind)

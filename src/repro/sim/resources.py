@@ -33,6 +33,9 @@ class Request(Event):
             ... use the resource ...
     """
 
+    __slots__ = ("resource", "usage_since", "process")
+
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -54,6 +57,9 @@ class Request(Event):
 
 class PriorityRequest(Request):
     """A request with a priority (lower value = more important)."""
+
+    __slots__ = ("priority", "preempt", "time")
+
 
     def __init__(self, resource: "Resource", priority: float = 0,
                  preempt: bool = True):
@@ -181,6 +187,8 @@ class PreemptiveResource(PriorityResource):
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError("amount must be positive")
@@ -191,6 +199,8 @@ class ContainerGet(Event):
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError("amount must be positive")
@@ -228,20 +238,25 @@ class Container:
         return ContainerPut(self, amount)
 
     def _dispatch(self) -> None:
+        # Hot loop: pre-bind the waiter lists and capacity; only _level
+        # changes across iterations.
+        put_waiters = self._put_waiters
+        get_waiters = self._get_waiters
+        capacity = self.capacity
         progress = True
         while progress:
             progress = False
-            if self._put_waiters:
-                put = self._put_waiters[0]
-                if self._level + put.amount <= self.capacity:
-                    self._put_waiters.pop(0)
+            if put_waiters:
+                put = put_waiters[0]
+                if self._level + put.amount <= capacity:
+                    put_waiters.pop(0)
                     self._level += put.amount
                     put.succeed()
                     progress = True
-            if self._get_waiters:
-                get = self._get_waiters[0]
+            if get_waiters:
+                get = get_waiters[0]
                 if self._level >= get.amount:
-                    self._get_waiters.pop(0)
+                    get_waiters.pop(0)
                     self._level -= get.amount
                     get.succeed()
                     progress = True
@@ -354,6 +369,8 @@ class BoundedQueue:
 
 
 class StoreGet(Event):
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
         super().__init__(store.env)
         store._getters.append(self)
@@ -361,6 +378,8 @@ class StoreGet(Event):
 
 
 class FilterStoreGet(StoreGet):
+    __slots__ = ("predicate",)
+
     def __init__(self, store: "FilterStore",
                  predicate: Callable[[Any], bool]):
         self.predicate = predicate
@@ -368,6 +387,8 @@ class FilterStoreGet(StoreGet):
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -397,22 +418,30 @@ class Store:
         return StoreGet(self)
 
     def _dispatch(self) -> None:
+        # Hot loop: pre-bind waiter lists, items, and bound methods; the
+        # lists mutate in place so the bindings stay live.
+        putters = self._putters
+        getters = self._getters
+        items = self.items
+        capacity = self.capacity
+        do_put = self._do_put
+        match = self._match
         progress = True
         while progress:
             progress = False
-            while self._putters and len(self.items) < self.capacity:
-                put = self._putters.pop(0)
-                self._do_put(put)
+            while putters and len(items) < capacity:
+                put = putters.pop(0)
+                do_put(put)
                 put.succeed()
                 progress = True
             idx = 0
-            while idx < len(self._getters):
-                get = self._getters[idx]
-                item = self._match(get)
+            while idx < len(getters):
+                get = getters[idx]
+                item = match(get)
                 if item is _NO_MATCH:
                     idx += 1
                     continue
-                self._getters.pop(idx)
+                getters.pop(idx)
                 get.succeed(item)
                 progress = True
 

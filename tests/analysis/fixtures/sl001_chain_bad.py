@@ -1,0 +1,17 @@
+"""SL001 flow: the RNG is reached unseeded through a two-level chain."""
+
+import numpy as np
+
+
+def _make_generator(seed=None):
+    return np.random.default_rng(seed)
+
+
+def make_arrivals(seed=None):
+    # Forwarding the seed is fine; the sin is committed by the caller.
+    return _make_generator(seed)
+
+
+def scenario():
+    rng = make_arrivals()  # BAD: omits the seed two helpers above the RNG
+    return rng.exponential(1.0)

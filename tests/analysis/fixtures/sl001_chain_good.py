@@ -1,0 +1,16 @@
+"""SL001 flow: every caller supplies a seed through the helper chain."""
+
+import numpy as np
+
+
+def _make_generator(seed=None):
+    return np.random.default_rng(seed)
+
+
+def make_arrivals(seed=None):
+    return _make_generator(seed)
+
+
+def scenario(seed):
+    rng = make_arrivals(seed)  # seed flows all the way to the RNG
+    return rng.exponential(1.0)

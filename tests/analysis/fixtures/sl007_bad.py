@@ -1,0 +1,10 @@
+"""SL007: module-level mutable state written from sim-process code."""
+
+STATS = {}
+
+
+def run(env):
+    while True:
+        yield env.timeout(1.0)
+        # BAD: every environment in the interpreter shares this dict.
+        STATS["ticks"] = STATS.get("ticks", 0) + 1

@@ -1,0 +1,12 @@
+"""SL007: per-world state lives on the world object, not the module."""
+
+
+class World:
+    def __init__(self, env):
+        self.env = env
+        self.stats = {}
+
+    def run(self):
+        while True:
+            yield self.env.timeout(1.0)
+            self.stats["ticks"] = self.stats.get("ticks", 0) + 1

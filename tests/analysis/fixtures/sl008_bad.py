@@ -1,0 +1,12 @@
+"""SL008: linted as ``src/repro/workload/generator.py`` by the tests.
+
+The workload layer may import ``repro.sim`` only; reaching into the
+cluster model inverts the DAG declared in ``repro.analysis.layers``.
+"""
+
+from repro.cluster.machine import Machine  # BAD: workload -> cluster
+from repro.sim import Environment
+
+
+def provision(env: Environment) -> Machine:
+    return Machine("m0", cores=4)

@@ -1,0 +1,23 @@
+"""SL009: linted as ``src/repro/sim/events.py`` by the tests.
+
+``Timeout`` is an Event subclass in a hot file but declares no
+``__slots__`` — every instance drags a per-event dict.
+"""
+
+
+class Event:
+    __slots__ = ("env", "callbacks")
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+
+
+class Timeout(Event):  # BAD: unslotted Event subclass on the hot path
+    def __init__(self, env, delay):
+        super().__init__(env)
+        self.delay = delay
+
+
+class KernelError(Exception):
+    """Exceptions are exempt: they are not per-event allocations."""

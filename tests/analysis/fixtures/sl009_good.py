@@ -1,0 +1,17 @@
+"""SL009: linted as ``src/repro/sim/events.py`` by the tests."""
+
+
+class Event:
+    __slots__ = ("env", "callbacks")
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+
+
+class Timeout(Event):
+    __slots__ = ("delay",)
+
+    def __init__(self, env, delay):
+        super().__init__(env)
+        self.delay = delay

@@ -1,0 +1,13 @@
+"""SL010: unbounded growth inside a never-exiting sim process."""
+
+
+class Sampler:
+    def __init__(self, env):
+        self.env = env
+        self.samples = []
+
+    def run(self):
+        while True:
+            yield self.env.timeout(1.0)
+            # BAD: nothing ever drains this list; a week-long sim leaks.
+            self.samples.append(self.env.now)

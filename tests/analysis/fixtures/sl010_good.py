@@ -1,0 +1,15 @@
+"""SL010: growth in a never-exiting process, bounded by eviction."""
+
+
+class Sampler:
+    def __init__(self, env, max_samples=1000):
+        self.env = env
+        self.max_samples = max_samples
+        self.samples = []
+
+    def run(self):
+        while True:
+            yield self.env.timeout(1.0)
+            if len(self.samples) >= self.max_samples:
+                self.samples.pop(0)
+            self.samples.append(self.env.now)

@@ -91,6 +91,44 @@ def test_baseline_split():
     assert new == [f2] and known == [f1]
 
 
+def test_rules_filter_selects_codes(tmp_path, capsys):
+    path = tmp_path / "mixed.py"
+    path.write_text("import time\n"
+                    "import numpy as np\n"
+                    "def f():\n"
+                    "    return time.time()\n"
+                    "def g():\n"
+                    "    return np.random.default_rng()\n")
+    assert main([str(path), "--rules", "SL002", "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "SL002" in out and "SL001" not in out
+    # Filtering down to a code the file doesn't trip exits clean.
+    assert main([str(path), "--rules", "SL008", "--no-baseline"]) == 0
+
+
+def test_rules_filter_rejects_unknown_code(bad_file, capsys):
+    assert main([bad_file, "--rules", "SL999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_prune_baseline_drops_stale_entries(bad_file, tmp_path, capsys):
+    baseline = str(tmp_path / ".simlint-baseline")
+    main([bad_file, "--baseline", baseline, "--write-baseline"])
+    capsys.readouterr()
+    # Entry still live: nothing pruned.
+    assert main([bad_file, "--baseline", baseline, "--prune-baseline"]) == 0
+    assert "pruned 0 stale" in capsys.readouterr().out
+    # Fix the finding, then prune: the entry must go away.
+    with open(bad_file, "w") as fh:
+        fh.write("def f(env):\n    return env.now\n")
+    assert main([bad_file, "--baseline", baseline, "--prune-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned: SL002" in out
+    assert "pruned 1 stale" in out
+    assert Baseline.load(baseline).entries == set()
+    assert main([bad_file, "--baseline", baseline, "--no-baseline"]) == 0
+
+
 def test_directory_walk_skips_caches(tmp_path):
     (tmp_path / "__pycache__").mkdir()
     (tmp_path / "__pycache__" / "junk.py").write_text("import time\ntime.time()\n")

@@ -1,0 +1,195 @@
+"""Unit tests for the project symbol table and call graph."""
+
+from repro.analysis.graph import (
+    EXTERNAL,
+    PROJECT,
+    UNKNOWN,
+    build_project,
+    module_name_for_path,
+)
+
+
+def sites_of(project, qualname):
+    return {(s.kind, s.target) for s in project.callees(qualname)}
+
+
+# -- module naming ----------------------------------------------------------
+
+def test_module_name_for_src_path():
+    assert module_name_for_path("src/repro/sim/events.py") == \
+        "repro.sim.events"
+
+
+def test_module_name_for_package_init():
+    assert module_name_for_path("src/repro/sim/__init__.py") == "repro.sim"
+
+
+def test_lone_file_becomes_single_segment_module():
+    assert module_name_for_path("tests/analysis/fixtures/sl007_bad.py") == \
+        "sl007_bad"
+
+
+# -- resolution -------------------------------------------------------------
+
+def test_resolves_local_and_imported_functions():
+    project = build_project({
+        "src/repro/a/helpers.py": "def make():\n    return 1\n",
+        "src/repro/a/use.py": ("from repro.a.helpers import make\n"
+                               "def caller():\n"
+                               "    return make()\n"),
+    })
+    assert sites_of(project, "repro.a.use.caller") == {
+        (PROJECT, "repro.a.helpers.make")}
+
+
+def test_resolves_module_alias_calls():
+    project = build_project({
+        "src/repro/a/helpers.py": "def make():\n    return 1\n",
+        "src/repro/a/use.py": ("import repro.a.helpers as h\n"
+                               "def caller():\n"
+                               "    return h.make()\n"),
+    })
+    assert sites_of(project, "repro.a.use.caller") == {
+        (PROJECT, "repro.a.helpers.make")}
+
+
+def test_constructor_resolves_to_init():
+    project = build_project({
+        "src/repro/a/w.py": ("class World:\n"
+                             "    def __init__(self, env):\n"
+                             "        self.env = env\n"
+                             "def make(env):\n"
+                             "    return World(env)\n"),
+    })
+    assert sites_of(project, "repro.a.w.make") == {
+        (PROJECT, "repro.a.w.World.__init__")}
+
+
+def test_self_method_resolves_through_project_base():
+    project = build_project({
+        "src/repro/a/base.py": ("class Base:\n"
+                                "    def helper(self):\n"
+                                "        return 1\n"),
+        "src/repro/a/child.py": ("from repro.a.base import Base\n"
+                                 "class Child(Base):\n"
+                                 "    def go(self):\n"
+                                 "        return self.helper()\n"),
+    })
+    assert sites_of(project, "repro.a.child.Child.go") == {
+        (PROJECT, "repro.a.base.Base.helper")}
+
+
+def test_reexport_through_package_init_is_followed():
+    project = build_project({
+        "src/repro/a/__init__.py": "from repro.a.helpers import make\n",
+        "src/repro/a/helpers.py": "def make():\n    return 1\n",
+        "src/repro/b/use.py": ("from repro.a import make\n"
+                               "def caller():\n"
+                               "    return make()\n"),
+    })
+    assert sites_of(project, "repro.b.use.caller") == {
+        (PROJECT, "repro.a.helpers.make")}
+
+
+def test_relative_import_resolves_within_package():
+    project = build_project({
+        "src/repro/a/helpers.py": "def make():\n    return 1\n",
+        "src/repro/a/use.py": ("from .helpers import make\n"
+                               "def caller():\n"
+                               "    return make()\n"),
+    })
+    assert sites_of(project, "repro.a.use.caller") == {
+        (PROJECT, "repro.a.helpers.make")}
+
+
+def test_external_call_keeps_dotted_name():
+    project = build_project({
+        "src/repro/a/r.py": ("import numpy as np\n"
+                             "def make(seed):\n"
+                             "    return np.random.default_rng(seed)\n"),
+    })
+    assert sites_of(project, "repro.a.r.make") == {
+        (EXTERNAL, "numpy.random.default_rng")}
+
+
+def test_dynamic_dispatch_is_unknown():
+    project = build_project({
+        "src/repro/a/d.py": ("def handler():\n"
+                             "    return 1\n"
+                             "TABLE = {'h': handler}\n"
+                             "def caller(fn):\n"
+                             "    fn()\n"
+                             "    TABLE['h']()\n"),
+    })
+    assert {s.kind for s in project.callees("repro.a.d.caller")} == {UNKNOWN}
+
+
+# -- graph queries ----------------------------------------------------------
+
+def test_reachability_terminates_on_cycles():
+    project = build_project({
+        "src/repro/a/cyc.py": ("def f():\n"
+                               "    return g()\n"
+                               "def g():\n"
+                               "    return f()\n"),
+    })
+    reachable = project.reachable_from(["repro.a.cyc.f"])
+    assert reachable == {"repro.a.cyc.f", "repro.a.cyc.g"}
+
+
+def test_reachability_does_not_cross_unknown_edges():
+    project = build_project({
+        "src/repro/a/d.py": ("def writer():\n"
+                             "    return 1\n"
+                             "TABLE = {'w': writer}\n"
+                             "def run(env):\n"
+                             "    yield env.timeout(1.0)\n"
+                             "    TABLE['w']()\n"),
+    })
+    reachable = project.reachable_from(project.sim_process_roots())
+    assert "repro.a.d.run" in reachable
+    assert "repro.a.d.writer" not in reachable
+
+
+def test_sim_process_detection():
+    project = build_project({
+        "src/repro/a/p.py": ("def proc(env):\n"
+                             "    yield env.timeout(1.0)\n"
+                             "def plain(items):\n"
+                             "    for i in items:\n"
+                             "        yield i\n"
+                             "def normal():\n"
+                             "    return 2\n"),
+    })
+    assert project.sim_process_roots() == {"repro.a.p.proc"}
+
+
+def test_slots_detection_covers_dataclass_slots():
+    project = build_project({
+        "src/repro/a/c.py": ("from dataclasses import dataclass\n"
+                             "@dataclass(slots=True)\n"
+                             "class A:\n"
+                             "    x: int\n"
+                             "class B:\n"
+                             "    __slots__ = ('y',)\n"
+                             "class C:\n"
+                             "    pass\n"),
+    })
+    classes = project.modules["repro.a.c"].classes
+    assert classes["A"].has_slots
+    assert classes["B"].has_slots
+    assert not classes["C"].has_slots
+
+
+def test_transitive_bases_cross_modules():
+    project = build_project({
+        "src/repro/a/base.py": "class Event:\n    pass\n",
+        "src/repro/a/mid.py": ("from repro.a.base import Event\n"
+                               "class Timeout(Event):\n"
+                               "    pass\n"),
+        "src/repro/a/leaf.py": ("from repro.a.mid import Timeout\n"
+                                "class Retry(Timeout):\n"
+                                "    pass\n"),
+    })
+    leaf = project.classes["repro.a.leaf.Retry"]
+    assert "repro.a.base.Event" in project.transitive_bases(leaf)

@@ -7,6 +7,8 @@ from repro.analysis.sanitizers import (
     DeterminismViolation,
     ResourceLeakError,
     ResourceLeakSanitizer,
+    SharedStateSanitizer,
+    SharedStateViolation,
     TraceDigest,
 )
 from repro.cluster.machine import Machine
@@ -147,6 +149,131 @@ def test_leak_sanitizer_does_not_mask_exceptions():
         with ResourceLeakSanitizer() as sanitizer:
             sanitizer.track(Resource(env), "r").request()  # simlint: disable=SL004
             raise RuntimeError("original")
+
+
+# -- shared-state (shard-safety) sanitizer ---------------------------------
+
+def test_shared_state_same_timestamp_race_detected():
+    """Two processes append to one log at t=1 with no ordering event."""
+    env = Environment()
+    with SharedStateSanitizer(env) as sanitizer:
+        log = sanitizer.watch([], name="log")
+
+        def writer(env, tag):
+            yield env.timeout(1.0)
+            log.append(tag)
+
+        env.process(writer(env, "a"))
+        env.process(writer(env, "b"))
+        with pytest.raises(SharedStateViolation, match="log.*unordered"):
+            env.run()
+    assert len(sanitizer.violations) == 1
+
+
+def test_shared_state_ordered_writes_are_clean():
+    """The second writer waits on an event the first one triggers."""
+    env = Environment()
+    with SharedStateSanitizer(env) as sanitizer:
+        log = sanitizer.watch([], name="log")
+        gate = env.event()
+
+        def first(env):
+            yield env.timeout(1.0)
+            log.append("first")
+            gate.succeed()
+
+        def second(env):
+            yield gate
+            log.append("second")
+
+        env.process(first(env))
+        env.process(second(env))
+        env.run()
+    assert sanitizer.violations == []
+    assert list(log) == ["first", "second"]
+
+
+def test_shared_state_transitive_ordering_via_relay():
+    """A -> B -> C through two events orders A's and C's writes even
+    though B never touches the shared object."""
+    env = Environment()
+    with SharedStateSanitizer(env) as sanitizer:
+        shared = sanitizer.watch({}, name="shared")
+        g1, g2 = env.event(), env.event()
+
+        def a(env):
+            yield env.timeout(2.0)
+            shared["a"] = 1
+            g1.succeed()
+
+        def relay(env):
+            yield g1
+            g2.succeed()
+
+        def c(env):
+            yield g2
+            shared["c"] = 1
+
+        env.process(a(env))
+        env.process(relay(env))
+        env.process(c(env))
+        env.run()
+    assert sanitizer.violations == []
+
+
+def test_shared_state_distinct_timestamps_are_ordered_by_time():
+    env = Environment()
+    with SharedStateSanitizer(env) as sanitizer:
+        seen = sanitizer.watch(set(), name="seen")
+
+        def writer(env, tag, t):
+            yield env.timeout(t)
+            seen.add(tag)
+
+        env.process(writer(env, "x", 1.0))
+        env.process(writer(env, "y", 2.0))
+        env.run()
+    assert sanitizer.violations == []
+
+
+def test_shared_state_setup_writes_outside_processes_exempt():
+    env = Environment()
+    with SharedStateSanitizer(env) as sanitizer:
+        log = sanitizer.watch([], name="log")
+        log.append("setup")  # no active process: scenario wiring
+        env.run()
+    assert sanitizer.violations == []
+
+
+def test_shared_state_non_strict_records_without_raising():
+    env = Environment()
+    sanitizer = SharedStateSanitizer(env, strict=False)
+    log = sanitizer.watch([], name="log")
+
+    def writer(env, tag):
+        yield env.timeout(1.0)
+        log.append(tag)
+
+    env.process(writer(env, "a"))
+    env.process(writer(env, "b"))
+    env.run()
+    sanitizer.close()
+    assert len(sanitizer.violations) == 1
+    assert "no ordering event" in sanitizer.violations[0]
+
+
+def test_shared_state_watch_rejects_unwatchable_types():
+    env = Environment()
+    with SharedStateSanitizer(env) as sanitizer:
+        with pytest.raises(TypeError, match="cannot watch"):
+            sanitizer.watch(42)
+
+
+def test_shared_state_hook_uninstalled_on_exit():
+    env = Environment()
+    with SharedStateSanitizer(env):
+        assert env._on_schedule is not None
+    assert env._on_schedule is None
 
 
 # -- kernel debug mode -----------------------------------------------------
