@@ -46,6 +46,10 @@ LAYERS: dict[str, frozenset[str]] = {
     "invariants": frozenset({"sim"}),
     # -- infrastructure models -------------------------------------------
     "cluster": frozenset({"sim", "faults", "workload"}),
+    #: Hot-standby control plane: election + shipping + fencing. Built on
+    #: detection (resilience) and the WAL (recovery); the scheduler it
+    #: replicates is duck-typed, never imported (no upward edge).
+    "replication": frozenset({"sim", "resilience", "recovery"}),
     # -- experiment domains ----------------------------------------------
     "autoscaling": DOMAIN_DEPS,
     "bibliometrics": frozenset({"sim", "workload"}),

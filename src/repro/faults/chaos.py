@@ -39,6 +39,7 @@ from repro.recovery import (
     PeriodicCheckpoint,
     daly_interval_s,
 )
+from repro.replication import ReplicatedControlPlane
 from repro.resilience import (
     BrownoutController,
     CoDelShedder,
@@ -772,6 +773,202 @@ def run_partition_scenario(seed: int = 0,
         "invariant_checks": engine.checks if engine is not None else 0,
         "invariant_violations": (engine.violations
                                  if engine is not None else 0),
+    }
+
+
+# -- replicated control plane: fenced failover -----------------------------
+
+def run_failover_scenario(seed: int = 0,
+                          n_tasks: int = 36,
+                          task_rate_per_s: float = 0.6,
+                          n_machines: int = 6,
+                          partition_start_s: float = 60.0,
+                          partition_heal_s: float = 150.0,
+                          oneway_heal_s: float = 170.0,
+                          gray_span: tuple = (55.0, 170.0),
+                          gray_drop_rate: float = 0.15,
+                          gray_latency_s: float = 0.2,
+                          lease_ttl_s: float = 4.0,
+                          renew_interval_s: float = 1.0,
+                          takeover_cost_s: float = 0.5,
+                          restart_cost_s: float = 5.0,
+                          replay_cost_per_record_s: float = 0.01,
+                          check_interval_s: float = 1.0,
+                          tracer=None, registry=None) -> dict:
+    """The failover study: a partitioned, gray-failing leader is replaced.
+
+    Three control nodes (``cp-0`` leads at boot) run lease election and
+    journal shipping over the same network the dispatches use. At
+    ``partition_start_s`` the leader is cut off *while gray-failing*
+    (its data-plane traffic was already lossy and laggy; its lease
+    renewals were protected — slow is not down). The standbys' phi
+    detectors read the renewal silence, one wins the next term within
+    the lease TTL, fences every machine, and takes the brain over warm:
+    its shipped journal prefix is the believed-state map, so promotion
+    pays the takeover cost plus reconciliation — no replay.
+
+    The heal is deliberately one-way (``inbound`` episode until
+    ``oneway_heal_s``): from ``partition_heal_s`` the deposed leader's
+    *outbound* writes reach the majority again while it still cannot
+    hear the new term. Its term-stamped dispatches bounce off the fence
+    — counted, one-for-one, by the ``fenced_writes_rejected`` law — and
+    the rejections teach it to step down. Split-brain is an observable
+    non-event: zero tasks lost, zero duplicated, exactly one leader per
+    term, audited every simulated second.
+    """
+    streams = RandomStreams(seed)
+    env = Environment()
+    if tracer is not None and tracer.env is None:
+        tracer.bind(env)
+    cluster = Cluster.homogeneous("failover", n_machines, cores=4)
+    nodes = ("cp-0", "cp-1", "cp-2")
+
+    network = Network(env, monitor=Monitor(env, registry=registry,
+                                           namespace="network"))
+    network.attach(NetworkPartitionModel(
+        env, groups={"old-leader": ["cp-0"]},
+        episodes=[PartitionEpisode(partition_start_s, partition_heal_s,
+                                   "old-leader", "both"),
+                  PartitionEpisode(partition_heal_s, oneway_heal_s,
+                                   "old-leader", "inbound")],
+        monitor=Monitor(env, registry=registry, namespace="partition")))
+    network.attach(GrayFailureModel(
+        env, streams.get("gray-failures"),
+        slowdown=2.0, drop_rate=gray_drop_rate,
+        extra_latency_s=gray_latency_s,
+        episodes={"cp-0": [gray_span]},
+        protected_kinds=("heartbeat", "lease", "lease_ack"),
+        monitor=Monitor(env, registry=registry, namespace="gray")))
+
+    journal = Journal(env, append_cost_s=0.002,
+                      replay_cost_per_record_s=replay_cost_per_record_s,
+                      name="failover-journal")
+    sim = ClusterSimulator(env, cluster, FCFSPolicy(), journal=journal,
+                           scheduler_restart_cost_s=restart_cost_s,
+                           network=network, node_name="cp-0",
+                           tracer=tracer, registry=registry)
+
+    replication_monitor = Monitor(env, registry=registry,
+                                  namespace="replication")
+    lease_detector = PhiAccrualDetector(
+        env, threshold=4.0, poll_interval_s=0.25,
+        monitor=replication_monitor, name="lease")
+    control = ReplicatedControlPlane(
+        env, sim, network, nodes, streams,
+        lease_ttl_s=lease_ttl_s, renew_interval_s=renew_interval_s,
+        takeover_cost_s=takeover_cost_s,
+        detector=lease_detector, monitor=replication_monitor,
+        tracer=tracer,
+        # The pathological leader: gray-failed, it never audits its own
+        # ack window — exactly the brain fencing exists to stop.
+        self_demote={"cp-0": False})
+
+    composed_monitor = Monitor(env, registry=registry, namespace="composed")
+    door = FrontDoor(
+        env, sim,
+        admitter=TokenBucketAdmitter(env, rate_per_s=1.0, burst=4.0),
+        brownout=BrownoutController(degraded_enter=1.2, degraded_exit=0.8,
+                                    critical_enter=2.5, critical_exit=1.6),
+        monitor=composed_monitor, queue_ref=6.0)
+
+    engine = InvariantEngine(
+        env,
+        standard_laws(network=network, scheduler=sim, front_door=door,
+                      control_plane=control),
+        check_interval_s=check_interval_s,
+        monitor=Monitor(env, registry=registry, namespace="invariants"))
+
+    task_rng = streams.get("task-sizes")
+    task_arrivals = streams.get("task-arrivals")
+
+    def task_driver(env):
+        for _ in range(n_tasks):
+            yield env.timeout(
+                float(task_arrivals.exponential(1.0 / task_rate_per_s)))
+            door.offer(Task(work=float(task_rng.uniform(20.0, 80.0))))
+        sim.close_submissions()
+
+    env.process(task_driver(env))
+
+    env.run(until=sim._scheduler)
+    # The books usually close before the heal; play the epilogue out so
+    # the deposed leader is fenced, deposed, and re-adopted as a standby.
+    env.run(until=max(env.now, oneway_heal_s + 10.0))
+    env.run(until=env.now + 10.0)
+    engine.check_now()
+    if door.brownout is not None:
+        door.brownout.finish(env.now)
+
+    metrics = sim.metrics()
+    first_onset = None
+    for _, onset, _ in lease_detector.suspicion_log:
+        if onset >= partition_start_s:
+            first_onset = onset
+            break
+    first_promotion = (min(control.promoted_at.values())
+                       if control.promoted_at else None)
+    lost_reports = sim.monitor.counters.get("lost_reports")
+    return {
+        # front door / scheduler
+        "offered": door.offered,
+        "admitted": door.admitted,
+        "door_shed": door.shed,
+        "submitted": sim.submitted,
+        "completed": metrics.n_tasks,
+        "lost": len(sim.failed),
+        "misdispatches": sim.misdispatches,
+        "lost_reports": lost_reports.total if lost_reports else 0,
+        "scheduler_crashes": sim.scheduler_crashes,
+        "recovered_completions": sim.recovered_completions,
+        "readopted": sim.readopted,
+        "orphans_requeued": sim.orphans_requeued,
+        "makespan_s": round(metrics.makespan_s, 3),
+        # election
+        "failovers": control.failovers,
+        "promotions": control.election.promotions,
+        "terms_with_leader": len(control.election.leaders_by_term),
+        "leader_timeline": sorted(
+            [term, node]
+            for term, node in control.election.leaders_by_term.items()),
+        "final_leader": sim.node_name,
+        "final_term": control.gate.term,
+        "elections": control.election.elections,
+        "votes_granted": control.election.votes_granted,
+        "votes_denied": control.election.votes_denied,
+        "stand_downs": control.election.stand_downs,
+        "demotions": control.election.demotions,
+        "leader_detect_latency_s": (
+            round(first_onset - partition_start_s, 3)
+            if first_onset is not None else None),
+        "failover_mttr_s": (round(first_promotion - partition_start_s, 3)
+                            if first_promotion is not None else None),
+        "lease_suspicions": lease_detector.suspicions,
+        "lease_false_suspicions": lease_detector.false_suspicions,
+        # journal shipping
+        "journal_appends": journal.appended,
+        "journal_records_at_failover": control.journal_records_at_failover,
+        "unshipped_at_promotion": control.unshipped_at_promotion,
+        "records_shipped": control.replicator.shipped_records,
+        "ship_resends": control.replicator.resends,
+        "ship_acks": control.replicator.acks_received,
+        "ship_duplicates": control.replicator.duplicates,
+        # fencing
+        "stale_dispatches": control.stale_dispatches,
+        "fenced_writes_rejected": control.gate.rejected,
+        "fenced_reports": control.gate.fenced_reports,
+        "fence_raises": control.gate.fence_raises,
+        "old_leader_deposed_at_s": (
+            round(control.deposed_at["cp-0"], 3)
+            if "cp-0" in control.deposed_at else None),
+        # network ledger
+        "messages_sent": network.sent,
+        "messages_delivered": network.delivered,
+        "messages_blocked": network.blocked,
+        "messages_dropped": network.dropped,
+        "messages_in_flight": network.in_flight,
+        # invariants
+        "invariant_checks": engine.checks,
+        "invariant_violations": engine.violations,
     }
 
 

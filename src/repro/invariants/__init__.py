@@ -29,7 +29,9 @@ Example
 
 from repro.invariants.catalog import (
     checkpoint_accounting,
+    fencing_conservation,
     front_door_conservation,
+    leader_uniqueness,
     network_conservation,
     scheduler_conservation,
     scheduler_reconciliation,
@@ -51,7 +53,9 @@ __all__ = [
     "Term",
     "checkpoint_accounting",
     "counter_term",
+    "fencing_conservation",
     "front_door_conservation",
+    "leader_uniqueness",
     "network_conservation",
     "scheduler_conservation",
     "scheduler_reconciliation",

@@ -18,7 +18,9 @@ from repro.invariants.laws import ConservationLaw, Term, counter_term
 
 __all__ = [
     "checkpoint_accounting",
+    "fencing_conservation",
     "front_door_conservation",
+    "leader_uniqueness",
     "network_conservation",
     "scheduler_conservation",
     "scheduler_reconciliation",
@@ -141,9 +143,45 @@ def checkpoint_accounting(job, tol: float = 1e-6) -> ConservationLaw:
              Term("downtime", lambda: job.downtime_s)])
 
 
+def leader_uniqueness(election) -> ConservationLaw:
+    """Elections never mint two leaders for one term.
+
+    ``promotions`` counts every win (including the boot-time leader);
+    ``leaders_by_term`` records the first winner per term and is only
+    ever extended via ``setdefault`` — a double win at one term makes
+    the left side overshoot the right, at the exact check after it
+    happens.
+    """
+    return ConservationLaw(
+        name="replication.at_most_one_leader_per_term",
+        description="promotions == terms_with_a_leader",
+        lhs=[Term("promotions", lambda: election.promotions)],
+        rhs=[Term("terms_with_a_leader",
+                  lambda: len(election.leaders_by_term))])
+
+
+def fencing_conservation(control_plane) -> ConservationLaw:
+    """Every stale write a deposed leader lands is rejected and counted.
+
+    The gate's machine-side rejection counter must track the control
+    plane's stale-dispatch ledger one-for-one: a gap on the left means
+    a fenced machine rejected a *live* write; a gap on the right means
+    a deposed leader's write was silently accepted — split-brain.
+    """
+    return ConservationLaw(
+        name="replication.fenced_writes_rejected",
+        description="fenced_writes_rejected == stale_dispatches",
+        lhs=[Term("fenced_writes_rejected",
+                  lambda: control_plane.gate.rejected)],
+        rhs=[Term("stale_dispatches",
+                  lambda: control_plane.stale_dispatches)])
+
+
 def standard_laws(network=None, scheduler=None, platform=None,
                   front_door=None,
-                  jobs: Iterable = ()) -> list[ConservationLaw]:
+                  jobs: Iterable = (),
+                  election=None,
+                  control_plane=None) -> list[ConservationLaw]:
     """Every applicable catalog law for the components actually present."""
     laws: list[ConservationLaw] = []
     if network is not None:
@@ -155,6 +193,11 @@ def standard_laws(network=None, scheduler=None, platform=None,
         laws.append(serverless_conservation(platform))
     if front_door is not None:
         laws.append(front_door_conservation(front_door))
+    if control_plane is not None:
+        laws.append(leader_uniqueness(control_plane.election))
+        laws.append(fencing_conservation(control_plane))
+    elif election is not None:
+        laws.append(leader_uniqueness(election))
     for i, job in enumerate(jobs):
         law = checkpoint_accounting(job)
         if i:

@@ -179,6 +179,24 @@ def scenario_partition(tracer: Tracer, registry: MetricsRegistry,
              "invariant_checks", "invariant_violations", "makespan_s")}
 
 
+def scenario_failover(tracer: Tracer, registry: MetricsRegistry,
+                      seed: int) -> dict:
+    """Replicated control plane: leader partitioned away, standby fences."""
+    from repro.faults.chaos import run_failover_scenario
+    result = run_failover_scenario(seed=seed, tracer=tracer,
+                                   registry=registry)
+    return {k: result[k] for k in
+            ("offered", "admitted", "submitted", "completed", "lost",
+             "misdispatches", "lost_reports", "scheduler_crashes",
+             "failovers", "promotions", "terms_with_leader",
+             "leader_timeline", "final_leader", "final_term", "elections",
+             "failover_mttr_s", "records_shipped", "ship_resends",
+             "unshipped_at_promotion", "stale_dispatches",
+             "fenced_writes_rejected", "old_leader_deposed_at_s",
+             "messages_blocked", "messages_dropped",
+             "invariant_checks", "invariant_violations", "makespan_s")}
+
+
 #: The corpus: name -> scenario function. Insertion order is the run and
 #: report order everywhere (CLI, tests).
 SCENARIOS = {
@@ -190,6 +208,7 @@ SCENARIOS = {
     "autoscaling": scenario_autoscaling,
     "recovery": scenario_recovery,
     "partition": scenario_partition,
+    "failover": scenario_failover,
 }
 
 #: Scenarios that intentionally compose *several* domains in one world:
@@ -197,7 +216,7 @@ SCENARIOS = {
 #: (``scheduling.*``, ``serverless.*``, ``network.*``, ...) rather than
 #: the scenario's name, and the metric-catalog namespacing test exempts
 #: them accordingly.
-COMPOSED_SCENARIOS = frozenset({"partition"})
+COMPOSED_SCENARIOS = frozenset({"partition", "failover"})
 
 #: The seed every golden trace is blessed under.
 GOLDEN_SEED = 7

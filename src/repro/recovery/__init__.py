@@ -50,6 +50,7 @@ from repro.recovery.policies import (
 from repro.recovery.store import (
     CHECKPOINT_TIERS,
     Checkpoint,
+    CheckpointCorruptionError,
     CheckpointStore,
     CheckpointTier,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "AdaptiveCheckpoint",
     "CHECKPOINT_TIERS",
     "Checkpoint",
+    "CheckpointCorruptionError",
     "CheckpointPolicy",
     "CheckpointStore",
     "CheckpointTier",

@@ -63,6 +63,28 @@ class Checkpoint:
     corrupt: bool = False
 
 
+class CheckpointCorruptionError(RuntimeError):
+    """The only retained snapshot is corrupt and no fallback exists.
+
+    Raised by :meth:`CheckpointStore.restore` when ``keep_last == 1``:
+    retention has already evicted every older snapshot, so the corrupt
+    one *is* the whole fallback chain. With ``keep_last > 1`` the same
+    discovery silently falls back to the next-older snapshot (or returns
+    ``None`` once the chain is exhausted) — but a store configured with
+    no chain at all has made an explicit durability bet, and losing it
+    deserves a typed error naming the corrupted key, not a ``None`` that
+    reads like "never checkpointed".
+    """
+
+    def __init__(self, store_name: str, seq: int):
+        self.store_name = store_name
+        #: The corrupted checkpoint's key (its store-assigned seq).
+        self.seq = seq
+        super().__init__(
+            f"checkpoint store {store_name!r}: only retained snapshot "
+            f"(seq={seq}) is corrupt and keep_last=1 leaves no fallback")
+
+
 class CheckpointStore:
     """Keep-last-k checkpoint storage with modeled I/O cost.
 
@@ -151,6 +173,11 @@ class CheckpointStore:
         falling back to the next-older one. Returns the
         :class:`Checkpoint`, or ``None`` when no readable snapshot
         remains — the caller restarts from scratch.
+
+        Exception: with ``keep_last == 1`` a corrupt snapshot raises
+        :class:`CheckpointCorruptionError` instead, because the fallback
+        chain is empty *by configuration*, not by bad luck — see the
+        error's docstring.
         """
         self.restores += 1
         while self.checkpoints:
@@ -162,6 +189,10 @@ class CheckpointStore:
                 if self.monitor is not None:
                     self.monitor.count(f"{self.name}_restores")
                 return candidate
+            if self.keep_last == 1:
+                self.checkpoints.pop()
+                self.failed_restores += 1
+                raise CheckpointCorruptionError(self.name, candidate.seq)
             self.checkpoints.pop()
             self.corrupt_fallbacks += 1
             if self.monitor is not None:

@@ -1,0 +1,32 @@
+"""Hot-standby replicated control plane (paper §6: availability keystone).
+
+Single-node crash recovery (:mod:`repro.recovery`) restarts the same
+brain; this package makes the brain's *location* survivable. It composes
+three mechanisms, each independently testable:
+
+- :mod:`repro.replication.election` — lease-based leader election over
+  the network fabric, observed through the phi-accrual detector;
+- :mod:`repro.replication.shipping` — WAL streaming from leader to hot
+  standbys with a cumulative acked durability window;
+- :mod:`repro.replication.fencing` — term tokens on every dispatch and
+  report, so a deposed leader's writes are rejected at the machines;
+- :mod:`repro.replication.controlplane` — the composition: fence, take
+  over, recover from the shipped prefix, count the split-brain.
+
+The failover study lives in
+:func:`repro.faults.chaos.run_failover_scenario`; invariant laws
+``replication.at_most_one_leader_per_term`` and
+``replication.fenced_writes_rejected`` audit every run.
+"""
+
+from repro.replication.controlplane import ReplicatedControlPlane
+from repro.replication.election import LeaseElection
+from repro.replication.fencing import FencingGate
+from repro.replication.shipping import JournalReplicator
+
+__all__ = [
+    "FencingGate",
+    "JournalReplicator",
+    "LeaseElection",
+    "ReplicatedControlPlane",
+]

@@ -44,6 +44,13 @@ class HeartbeatEmitter:
     detector — unless ``is_up`` says the component is down, in which case
     the beat is silently skipped (a crashed component cannot announce its
     own death; the detector must infer it from the silence).
+
+    An emitter with ``jitter > 0`` — the default — *requires* an rng:
+    jitter exists to de-synchronize emitters, and silently skipping it
+    (the old behavior) ran phase-locked heartbeats while reporting a
+    jittered configuration — the same trap
+    :meth:`repro.faults.policies.RetryPolicy.backoff_s` closed. Callers
+    that genuinely want metronome beats must say so with ``jitter=0.0``.
     """
 
     def __init__(self, env: Environment, detector: "PhiAccrualDetector",
@@ -57,6 +64,11 @@ class HeartbeatEmitter:
             raise ValueError("interval_s must be positive")
         if not 0.0 <= jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if jitter > 0 and rng is None:
+            raise ValueError(
+                "jitter > 0 requires a named rng stream "
+                "(RandomStreams.get); pass jitter=0.0 explicitly for "
+                "unjittered beats")
         if network is not None and (src is None or dst is None):
             raise ValueError("network routing needs src and dst node names")
         self.env = env
@@ -84,7 +96,7 @@ class HeartbeatEmitter:
     def _beat(self):
         while True:
             delay = self.interval_s
-            if self.rng is not None and self.jitter > 0:
+            if self.jitter > 0:  # rng presence enforced at construction
                 delay *= 1.0 + self.jitter * (2.0 * float(self.rng.random())
                                               - 1.0)
             yield self.env.timeout(delay)

@@ -58,6 +58,13 @@ class ScheduleMetrics:
         return self.mean_bounded_slowdown
 
 
+#: What a journal record's kind says the scheduler believed about the
+#: task at append time (see :meth:`ClusterSimulator.belief_from_record`).
+_BELIEF_FROM_KIND = {"submit": "ready", "requeue": "ready",
+                     "dispatch": "running", "complete": "done",
+                     "drop": "dropped"}
+
+
 class ClusterSimulator:
     """Drives jobs through a cluster under a swappable policy.
 
@@ -74,7 +81,8 @@ class ClusterSimulator:
                  tracer=None, registry=None,
                  network=None, node_name: str = "scheduler",
                  report_retry_s: float = 2.0,
-                 service_time_factor=None):
+                 service_time_factor=None,
+                 fencing=None):
         if failure_mode not in ("requeue", "drop"):
             raise ValueError(
                 f"failure_mode must be 'requeue' or 'drop', got {failure_mode!r}")
@@ -154,6 +162,14 @@ class ClusterSimulator:
         #: execution's runtime — the gray-failure hook
         #: (``lambda m: gray.service_factor(m.name)``).
         self.service_time_factor = service_time_factor
+        #: Optional :class:`~repro.replication.fencing.FencingGate` (duck-
+        #: typed): with one, every dispatch carries the control plane's
+        #: term token and is admitted machine-side against the fenced
+        #: floor, and every completion report carries the machine's
+        #: witnessed floor and is admitted brain-side against the current
+        #: term. ``None`` (the default) keeps both hops token-free — the
+        #: single-brain behavior, unchanged.
+        self.fencing = fencing
         if network is not None:
             network.add_node(node_name)
             for machine in cluster.machines:
@@ -183,6 +199,25 @@ class ClusterSimulator:
         if self.journal is not None and not self._crashed:
             self._tasks[task.task_id] = task
             self.journal.append(kind, {"task_id": task.task_id})
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the scheduler brain is currently fail-stopped."""
+        return self._crashed
+
+    @staticmethod
+    def belief_from_record(record) -> Optional[tuple[int, str]]:
+        """``(task_id, believed-state)`` of one journal record, or None.
+
+        The single source of truth for how a journal record updates the
+        believed-state map — :meth:`recover_scheduler` replays through
+        it, and a replicated control plane's journal shipping applies the
+        same function record-by-record to keep hot standbys warm.
+        """
+        state = _BELIEF_FROM_KIND.get(record.kind)
+        if state is None:
+            return None
+        return record.payload["task_id"], state
 
     def _span_start(self, task: Task, machine: Machine) -> None:
         if self.tracer is not None:
@@ -368,14 +403,38 @@ class ClusterSimulator:
         self.ready.remove(task)
         self._journal("dispatch", task)
         if self.network is not None:
-            verdict = self.network.send(self.node_name, machine.name,
-                                        deliver=lambda: None,
-                                        kind="dispatch")
+            fencing = self.fencing
+            if fencing is None:
+                verdict = self.network.send(self.node_name, machine.name,
+                                            deliver=lambda: None,
+                                            kind="dispatch")
+                admitted = True
+            else:
+                token = fencing.dispatch_token()
+                outcome: list = []
+                verdict = self.network.send(
+                    self.node_name, machine.name,
+                    deliver=lambda m=machine.name, t=token:
+                        outcome.append(fencing.admit_dispatch(m, t)),
+                    kind="dispatch")
+                admitted = not outcome or bool(outcome[0])
             if verdict in ("blocked", "dropped"):
                 # The dispatch was lost in transit (partition, gray drop).
                 # From the scheduler's seat this is indistinguishable from
                 # dispatching to a dead machine: the task sits in limbo
                 # until the dispatch timeout requeues it.
+                task.state = TaskState.RUNNING
+                self._limbo[task.task_id] = (task, machine)
+                self.monitor.record("queue_length", len(self.ready))
+                self._span_start(task, machine)
+                self.env.process(self._misdispatch(task))
+                return
+            if not admitted:
+                # The machine's fenced floor outranks our token: a deposed
+                # brain's write, refused machine-side. No work starts; the
+                # dispatch timeout paces the retry exactly like a
+                # misdispatch (an instant requeue would spin the loop).
+                self.monitor.count("fenced_dispatches")
                 task.state = TaskState.RUNNING
                 self._limbo[task.task_id] = (task, machine)
                 self.monitor.record("queue_length", len(self.ready))
@@ -468,7 +527,8 @@ class ClusterSimulator:
             self.running.pop(task_id, None)
             self._unreported.append((task, runtime))
 
-    def recover_scheduler(self):
+    def recover_scheduler(self, believed: Optional[dict] = None,
+                          restart_cost_s: Optional[float] = None):
         """Process: restart the scheduler and reconcile state via journal.
 
         Replays the journal's durable prefix to rebuild what the dead
@@ -482,21 +542,30 @@ class ClusterSimulator:
           work itself survived the scheduler;
         - a believed-running task whose machine died during the outage is
           an **orphan**: requeued, exactly like PR 3's misdispatches.
+
+        A replicated control plane promotes a hot standby by passing the
+        ``believed`` map its shipped journal prefix already built (so no
+        replay is paid) and the standby's ``restart_cost_s`` (a warm
+        takeover, not a cold restart). Reconciliation is identical either
+        way — that is the point: failover is recovery with the replay
+        pre-paid.
         """
         if not self._crashed:
             raise RuntimeError("recover_scheduler() without a crash")
-        if self.scheduler_restart_cost_s > 0:
-            yield self.env.timeout(self.scheduler_restart_cost_s)
-        replay_s = self.journal.replay_time_s()
-        records = self.journal.replay()
-        if replay_s > 0:
-            yield self.env.timeout(replay_s)
-        believed: dict[int, str] = {}
-        for record in records:
-            task_id = record.payload["task_id"]
-            believed[task_id] = {"submit": "ready", "requeue": "ready",
-                                 "dispatch": "running", "complete": "done",
-                                 "drop": "dropped"}[record.kind]
+        cost = (self.scheduler_restart_cost_s if restart_cost_s is None
+                else restart_cost_s)
+        if cost > 0:
+            yield self.env.timeout(cost)
+        if believed is None:
+            replay_s = self.journal.replay_time_s()
+            records = self.journal.replay()
+            if replay_s > 0:
+                yield self.env.timeout(replay_s)
+            believed = {}
+            for record in records:
+                entry = self.belief_from_record(record)
+                if entry is not None:
+                    believed[entry[0]] = entry[1]
         self._crashed = False
         still_running = set(self.running) | set(self._limbo)
         finished_ids = {t.task_id for t in self.finished}
@@ -590,14 +659,13 @@ class ClusterSimulator:
             self._unreported.append((task, runtime))
             return
         if self.network is not None:
-            verdict = self.network.send(machine.name, self.node_name,
-                                        deliver=lambda: None, kind="report")
-            if verdict in ("blocked", "dropped"):
-                # The report was lost in transit. Ground truth moved on
-                # (machine freed, task DONE) but the scheduler still
-                # *believes* the task is running: it stays in ``running``
-                # and joins the pending-reports ledger until a retry gets
-                # through — the exact gap the reconciliation law audits.
+            if not self._send_report(machine):
+                # The report was lost in transit (or refused by a fence-
+                # aware brain as stale). Ground truth moved on (machine
+                # freed, task DONE) but the scheduler still *believes*
+                # the task is running: it stays in ``running`` and joins
+                # the pending-reports ledger until a retry gets through —
+                # the exact gap the reconciliation law audits.
                 self.monitor.count("lost_reports")
                 self._pending_reports[task.task_id] = (task, runtime,
                                                        machine)
@@ -608,6 +676,31 @@ class ClusterSimulator:
         self.monitor.record("utilization", self.cluster.utilization)
         self._kick()
 
+    def _send_report(self, machine: Machine) -> bool:
+        """One completion-report hop home; True when the brain took it.
+
+        Reads ``self.node_name`` fresh on every call, so a retry after a
+        failover reaches the *new* leader. With a fencing gate, the
+        report carries the machine's witnessed term floor and the brain
+        refuses tokens below its current term (teaching the machine the
+        live term for the next retry).
+        """
+        fencing = self.fencing
+        if fencing is None:
+            verdict = self.network.send(machine.name, self.node_name,
+                                        deliver=lambda: None, kind="report")
+            return verdict not in ("blocked", "dropped")
+        token = fencing.report_token(machine.name)
+        outcome: list = []
+        verdict = self.network.send(
+            machine.name, self.node_name,
+            deliver=lambda m=machine.name, t=token:
+                outcome.append(fencing.admit_report(m, t)),
+            kind="report")
+        if verdict in ("blocked", "dropped"):
+            return False
+        return not outcome or bool(outcome[0])
+
     def _report_later(self, task: Task):
         """Machine-side retry loop for a lost completion report."""
         while task.task_id in self._pending_reports:
@@ -616,9 +709,7 @@ class ClusterSimulator:
             if entry is None:
                 return  # a crash drained it into the unreported ledger
             _, runtime, machine = entry
-            verdict = self.network.send(machine.name, self.node_name,
-                                        deliver=lambda: None, kind="report")
-            if verdict in ("blocked", "dropped"):
+            if not self._send_report(machine):
                 continue
             del self._pending_reports[task.task_id]
             self.running.pop(task.task_id, None)

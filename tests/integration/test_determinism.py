@@ -74,3 +74,15 @@ def test_partition_scenario_trace_identical(seed):
             n_invocations=30, invoke_rate_per_s=1.5),
         label=f"partition seed={seed}")
     assert sanitizer.digests[0].events > 1000  # a real composition ran
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_failover_scenario_trace_identical(seed):
+    """The replicated-control-plane study: elections, journal shipping,
+    fencing, and a mid-run takeover in one trace."""
+    from repro.faults.chaos import run_failover_scenario
+    sanitizer = DeterminismSanitizer(runs=2)
+    sanitizer.check(
+        lambda: run_failover_scenario(seed=seed),
+        label=f"failover seed={seed}")
+    assert sanitizer.digests[0].events > 1000  # a real composition ran

@@ -15,7 +15,12 @@ ISSUE 6's headline claims, each pinned per seed:
 
 import pytest
 
+from repro.cluster import Cluster
 from repro.faults.chaos import run_partition_scenario
+from repro.faults.partition import NetworkPartitionModel, PartitionEpisode
+from repro.scheduling import ClusterSimulator, FCFSPolicy
+from repro.sim import Environment, Network
+from repro.workload.task import Task
 
 SEEDS = (7, 19, 42)
 
@@ -77,3 +82,83 @@ def test_recovery_survived_the_composition(result):
     assert result["orphans_requeued"] + result["readopted"] \
         + result["recovered_completions"] > 0
     assert result["job_makespan_s"] > 0
+
+
+class TestOneWayPartitions:
+    """The two asymmetric halves of a real switch fault, end to end.
+
+    A lean deterministic world (no RNG anywhere): two machines, the far
+    one isolated by a one-way episode during [10, 60). A filler task
+    pins the near machine, so the probe work *must* cross the cut — in
+    one direction per test — and the scheduler's completion-report /
+    dispatch machinery has to absorb exactly the half that is severed.
+    """
+
+    def _world(self, direction):
+        env = Environment()
+        cluster = Cluster.homogeneous("oneway", 2, cores=4)
+        far = cluster.machines[1].name
+        network = Network(env)
+        network.attach(NetworkPartitionModel(
+            env, groups={"far": [far]},
+            episodes=[PartitionEpisode(10.0, 60.0, "far", direction)]))
+        sim = ClusterSimulator(env, cluster, FCFSPolicy(),
+                               network=network, node_name="scheduler",
+                               report_retry_s=2.0, dispatch_timeout_s=5.0)
+        return env, sim, network
+
+    def test_outbound_cut_loses_reports_not_dispatches(self):
+        """``outbound``: the far machine shouts into the void — its
+        completion report is refused until the heal, while dispatches
+        *to* it still flow."""
+        env, sim, network = self._world("outbound")
+        # Pin the near machine for the whole episode.
+        sim.submit_task(Task(work=200.0, cores=4))
+        # The probe lands on the far machine at t=0 and finishes at
+        # t=30 — mid-episode, so its report home is blocked.
+        probe = Task(work=30.0, cores=4)
+        sim.submit_task(probe)
+        sim.close_submissions()
+        env.run(until=40.0)
+        # Ground truth moved on; the scheduler's belief lags behind.
+        assert probe.state.name == "DONE"
+        assert probe.task_id in sim._pending_reports
+        assert probe.task_id in sim.running
+        assert sim.monitor.counters["lost_reports"].total > 0
+        env.run(until=sim._scheduler)
+        # Post-heal the retry loop drains the ledger: nothing lost.
+        assert not sim._pending_reports
+        assert len(sim.finished) == sim.submitted == 2
+        assert network.by_kind["report"]["blocked"] > 0
+        assert network.by_kind["dispatch"]["blocked"] == 0
+        assert sim.misdispatches == 0
+
+    def test_inbound_cut_loses_dispatches_not_reports(self):
+        """``inbound``: the far machine hears nothing — dispatches to it
+        limbo out as misdispatches — but a task it started *before* the
+        cut still reports home through the open half."""
+        env, sim, network = self._world("inbound")
+        sim.submit_task(Task(work=200.0, cores=4))
+        # probe_a starts on the far machine at t=0 and finishes at t=30
+        # (mid-episode): inbound lets its report through.
+        probe_a = Task(work=30.0, cores=4)
+        sim.submit_task(probe_a)
+
+        def late_probe(env):
+            yield env.timeout(12.0)
+            sim.submit_task(Task(work=30.0, cores=4))
+            sim.close_submissions()
+
+        env.process(late_probe(env))
+        env.run(until=40.0)
+        # probe_a's report crossed the open half immediately.
+        assert probe_a.task_id not in sim._pending_reports
+        assert any(t.task_id == probe_a.task_id for t in sim.finished)
+        assert network.by_kind["report"]["blocked"] == 0
+        # probe_b's dispatch hit the severed half: limbo -> misdispatch
+        # -> requeue, paced by the dispatch timeout until the heal.
+        assert sim.misdispatches >= 1
+        assert network.by_kind["dispatch"]["blocked"] >= 1
+        env.run(until=sim._scheduler)
+        assert len(sim.finished) == sim.submitted == 3
+        assert not sim.failed and not sim._limbo

@@ -36,8 +36,11 @@ def catalog_laws():
     job = _Bag(finished_at=None, started_at=0.0, work_s=0.0,
                checkpoint_time_s=0.0, lost_work_s=0.0, recovery_time_s=0.0,
                downtime_s=0.0)
+    control_plane = _Bag(gate=_Bag(rejected=0), stale_dispatches=0,
+                         election=_Bag(promotions=0, leaders_by_term={}))
     return standard_laws(network=network, scheduler=scheduler,
-                         platform=platform, front_door=door, jobs=[job])
+                         platform=platform, front_door=door, jobs=[job],
+                         control_plane=control_plane)
 
 
 def documented_laws() -> set[str]:

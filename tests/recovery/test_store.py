@@ -125,6 +125,33 @@ class TestCorruption:
         # The corrupt snapshot is discarded, not retried forever.
         assert len(store) == 1
 
+    def test_keep_last_one_corrupt_raises_typed_error(self):
+        """keep_last=1 made a durability bet: losing it is an error, not
+        a None that reads like "never checkpointed"."""
+        from repro.recovery import CheckpointCorruptionError
+        env = Environment()
+        store = CheckpointStore(env, keep_last=1, name="solo")
+        run_combinator(env, store.save({"progress": 1.0}, 10.0))
+        run_combinator(env, store.save({"progress": 2.0}, 10.0))
+        bad_seq = store.checkpoints[-1].seq
+        store.checkpoints[-1].corrupt = True
+        with pytest.raises(CheckpointCorruptionError) as exc:
+            run_combinator(env, store.restore())
+        # The typed error names the corrupted key.
+        assert exc.value.seq == bad_seq
+        assert exc.value.store_name == "solo"
+        assert "seq=1" in str(exc.value)
+        assert store.failed_restores == 1
+        assert len(store) == 0
+
+    def test_keep_last_one_valid_snapshot_still_restores(self):
+        env = Environment()
+        store = CheckpointStore(env, keep_last=1)
+        run_combinator(env, store.save({"progress": 1.0}, 10.0))
+        ckpt = run_combinator(env, store.restore())
+        assert ckpt.payload["progress"] == 1.0
+        assert store.failed_restores == 0
+
     def test_all_corrupt_restore_fails(self):
         env = Environment()
         store = CheckpointStore(env)

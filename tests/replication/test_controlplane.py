@@ -1,0 +1,113 @@
+"""The composed control plane: takeover, fencing, and the stale writer."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.faults.partition import NetworkPartitionModel, PartitionEpisode
+from repro.recovery import Journal
+from repro.replication import ReplicatedControlPlane
+from repro.scheduling import ClusterSimulator, FCFSPolicy
+from repro.sim import Environment, Network, RandomStreams
+from repro.workload.task import Task
+
+NODES = ("cp-0", "cp-1", "cp-2")
+
+
+def make_world(partition_span=None, self_demote=None):
+    env = Environment()
+    streams = RandomStreams(7)
+    cluster = Cluster.homogeneous("cp", 3, cores=4)
+    network = Network(env)
+    for node in NODES:
+        network.add_node(node)
+    if partition_span is not None:
+        episodes = [PartitionEpisode(partition_span[0], partition_span[1],
+                                     "old-leader", "both")]
+        if len(partition_span) > 2:
+            # A one-way tail: the old leader's inbound stays severed, so
+            # it cannot hear the new lease — only fencing can teach it.
+            episodes.append(PartitionEpisode(
+                partition_span[1], partition_span[2], "old-leader",
+                "inbound"))
+        network.attach(NetworkPartitionModel(
+            env, groups={"old-leader": ["cp-0"]}, episodes=episodes))
+    journal = Journal(env, append_cost_s=0.0)
+    sim = ClusterSimulator(env, cluster, FCFSPolicy(), journal=journal,
+                           network=network, node_name="cp-0",
+                           scheduler_restart_cost_s=5.0)
+    control = ReplicatedControlPlane(
+        env, sim, network, NODES, streams,
+        lease_ttl_s=4.0, renew_interval_s=1.0, takeover_cost_s=0.5,
+        self_demote=self_demote)
+    return env, sim, control
+
+
+def test_quiet_world_never_fails_over():
+    env, sim, control = make_world()
+    sim.submit_task(Task(work=10.0))
+    sim.close_submissions()
+    env.run(until=sim._scheduler)
+    env.run(until=30.0)
+    assert control.failovers == 0
+    assert sim.node_name == "cp-0"
+    assert control.gate.rejected == 0
+    assert len(sim.finished) == 1
+
+
+def test_failover_promotes_a_warm_standby():
+    env, sim, control = make_world(partition_span=(10.0, 10_000.0))
+    for _ in range(3):
+        sim.submit_task(Task(work=5.0))
+    sim.close_submissions()
+    env.run(until=40.0)
+    assert control.failovers == 1
+    new_leader = sim.node_name
+    assert new_leader in ("cp-1", "cp-2")
+    # The takeover started from the shipped prefix, not a replay: the
+    # journal was fully shipped before the cut.
+    assert control.unshipped_at_promotion == 0
+    assert control.journal_records_at_failover > 0
+    assert control.promoted_at
+    term = max(control.promoted_at)
+    assert control.gate.term == term >= 2
+    # Every machine was fenced at the new term before the first dispatch.
+    for machine in sim.cluster.machines:
+        assert control.gate.floor_of(machine.name) >= term
+    # The believed map the promotion used matched the journal's story.
+    assert control._believed[new_leader]
+
+
+def test_stale_writer_is_fenced_then_deposed():
+    env, sim, control = make_world(partition_span=(10.0, 60.0, 10_000.0),
+                                   self_demote={"cp-0": False})
+    sim.submit_task(Task(work=5.0))
+    sim.close_submissions()
+    env.run(until=58.0)
+    assert control.failovers == 1
+    # Mid-partition the old leader still believes; its probes are
+    # blocked, so nothing has been rejected yet.
+    assert control.election.believes_leader("cp-0")
+    env.run(until=80.0)
+    # Post-heal its dispatches reach the fence, are rejected, counted
+    # one-for-one, and the rejections depose it.
+    assert control.stale_dispatches >= 1
+    assert control.gate.rejected == control.stale_dispatches
+    assert not control.election.believes_leader("cp-0")
+    assert "cp-0" in control.deposed_at
+    assert control.deposed_at["cp-0"] >= 60.0
+
+
+def test_validation_errors():
+    env = Environment()
+    streams = RandomStreams(0)
+    cluster = Cluster.homogeneous("cp", 1, cores=4)
+    network = Network(env)
+    journal = Journal(env)
+    sim = ClusterSimulator(env, cluster, FCFSPolicy(), journal=journal,
+                           network=network, node_name="elsewhere")
+    with pytest.raises(ValueError, match="initial leader"):
+        ReplicatedControlPlane(env, sim, network, NODES, streams)
+    sim2 = ClusterSimulator(env, cluster, FCFSPolicy(),
+                            network=network, node_name="cp-0")
+    with pytest.raises(ValueError, match="journal"):
+        ReplicatedControlPlane(env, sim2, network, NODES, streams)

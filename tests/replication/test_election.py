@@ -1,0 +1,141 @@
+"""Lease election: boot, failover, stickiness, and the safety law."""
+
+import pytest
+
+from repro.faults.partition import NetworkPartitionModel, PartitionEpisode
+from repro.replication import LeaseElection
+from repro.resilience import PhiAccrualDetector
+from repro.sim import Environment, Network, RandomStreams
+
+NODES = ("a", "b", "c")
+
+#: Far beyond any horizon these tests run to.
+FOREVER = 10_000.0
+
+
+def make_election(env, network, seed=7, **kw):
+    detector = PhiAccrualDetector(env, threshold=4.0, poll_interval_s=0.25,
+                                  name="lease")
+    return LeaseElection(env, network, NODES, detector,
+                         RandomStreams(seed), **kw)
+
+
+def one_way_world(episodes):
+    env = Environment()
+    network = Network(env)
+    for node in NODES:
+        network.add_node(node)
+    network.attach(NetworkPartitionModel(
+        env, groups={"iso": [ep.isolate for ep in episodes]},
+        episodes=[PartitionEpisode(ep.start_s, ep.end_s, "iso", ep.direction)
+                  for ep in episodes]))
+    return env, network
+
+
+def test_boot_leader_no_election():
+    env = Environment()
+    network = Network(env)
+    election = make_election(env, network)
+    env.run(until=20.0)
+    assert all(election.leader_of(n) == "a" for n in NODES)
+    assert election.believes_leader("a")
+    assert election.elections == 0
+    assert election.promotions == 1
+    assert election.leaders_by_term == {1: "a"}
+
+
+def test_failover_on_leader_silence():
+    env, network = one_way_world(
+        [PartitionEpisode(5.0, FOREVER, "a", "both")])
+    election = make_election(env, network)
+    env.run(until=40.0)
+    winner = election.leader_of("b")
+    assert winner in ("b", "c")
+    assert election.leader_of("c") == winner
+    assert election.term_of(winner) >= 2
+    # The old leader lost its majority-ack window and abdicated.
+    assert not election.believes_leader("a")
+    assert sum(election.believes_leader(n) for n in NODES) == 1
+    # The safety law's identity held throughout.
+    assert election.promotions == len(election.leaders_by_term)
+
+
+def test_determinism_across_runs():
+    outcomes = []
+    for _ in range(2):
+        env, network = one_way_world(
+            [PartitionEpisode(5.0, FOREVER, "a", "both")])
+        election = make_election(env, network)
+        env.run(until=40.0)
+        outcomes.append((election.leader_of("b"), election.elections,
+                         dict(election.leaders_by_term)))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_pathological_leader_needs_depose():
+    env, network = one_way_world(
+        [PartitionEpisode(5.0, FOREVER, "a", "both")])
+    election = make_election(env, network)
+    election.self_demote["a"] = False
+    env.run(until=40.0)
+    # Split brain: the minority leader never steps down on its own...
+    assert election.believes_leader("a")
+    assert sum(election.believes_leader(n) for n in NODES) == 2
+    # ...but terms stay unique — safety never depended on self-demotion.
+    assert election.promotions == len(election.leaders_by_term)
+    # External invalidation (fencing) is what stops it.
+    election.depose("a")
+    assert not election.believes_leader("a")
+    assert election.leader_of("a") is None
+    assert election.demotions >= 1
+
+
+def test_futile_campaigns_never_inflate_the_term():
+    """The livelock regression: a standby that cannot hear denials must
+    not climb its own term, or it would reject the live leader's
+    renewals after the heal."""
+    env, network = one_way_world(
+        [PartitionEpisode(5.0, 60.0, "c", "inbound")])
+    election = make_election(env, network)
+    env.run(until=50.0)
+    # Mid-episode: c campaigns in vain (its vote requests go out, every
+    # reply is severed inbound), while a leads on undisturbed.
+    assert election.believes_leader("a")
+    assert election.elections > 0
+    assert election.votes_denied > 0
+    env.run(until=80.0)
+    # Post-heal: c adopted the live lease instead of livelocking.
+    assert election.leader_of("c") == "a"
+    assert not election.believes_leader("c")
+    assert election.term_of("c") == election.term_of("a")
+    assert election.promotions == 1
+
+
+def test_grant_floor_is_monotone():
+    env, network = one_way_world(
+        [PartitionEpisode(5.0, FOREVER, "a", "both")])
+    election = make_election(env, network)
+    floors = {n: election._granted[n] for n in NODES}
+
+    def audit(env):
+        while True:
+            yield env.timeout(0.1)
+            for n in NODES:
+                assert election._granted[n] >= floors[n], n
+                floors[n] = election._granted[n]
+
+    env.process(audit(env))
+    env.run(until=40.0)
+    assert any(floors[n] >= 2 for n in NODES)
+
+
+def test_validation_errors():
+    env = Environment()
+    network = Network(env)
+    detector = PhiAccrualDetector(env, name="lease")
+    streams = RandomStreams(0)
+    with pytest.raises(ValueError, match="at least two"):
+        LeaseElection(env, network, ["solo"], detector, streams)
+    with pytest.raises(ValueError, match="lease_ttl_s"):
+        LeaseElection(env, network, ["a", "b"], detector, streams,
+                      lease_ttl_s=1.0, renew_interval_s=1.0)

@@ -1,0 +1,56 @@
+"""Fencing-gate semantics: floors, tokens, and the two admit checks."""
+
+from repro.replication import FencingGate
+
+
+def test_boot_state():
+    gate = FencingGate()
+    assert gate.term == 0
+    assert gate.floor_of("m0") == 0
+    assert gate.dispatch_token() == 0
+
+
+def test_advance_is_monotone():
+    gate = FencingGate()
+    gate.advance(3)
+    gate.advance(1)  # a late, lower advance never lowers the term
+    assert gate.term == 3
+    assert gate.dispatch_token() == 3
+
+
+def test_raise_floor_is_monotone_and_counted():
+    gate = FencingGate()
+    gate.raise_floor("m0", 2)
+    gate.raise_floor("m0", 1)  # stale fence message: ignored
+    assert gate.floor_of("m0") == 2
+    assert gate.fence_raises == 1
+
+
+def test_admit_dispatch_rejects_below_floor():
+    gate = FencingGate()
+    gate.raise_floor("m0", 2)
+    assert not gate.admit_dispatch("m0", 1)
+    assert gate.rejected == 1
+    assert gate.admit_dispatch("m0", 2)
+    assert gate.accepted == 1
+    # The floor is per-machine: an unfenced machine still takes term 1.
+    assert gate.admit_dispatch("m1", 1)
+
+
+def test_admitted_dispatch_teaches_the_floor():
+    gate = FencingGate()
+    assert gate.admit_dispatch("m0", 3)
+    assert gate.floor_of("m0") == 3
+    assert gate.report_token("m0") == 3
+    assert not gate.admit_dispatch("m0", 2)
+
+
+def test_admit_report_refuses_stale_and_teaches():
+    gate = FencingGate()
+    gate.advance(2)
+    # The machine never witnessed the fence: its report token is 0.
+    assert not gate.admit_report("m0", gate.report_token("m0"))
+    assert gate.fenced_reports == 1
+    # The refusal taught the machine the live term; the retry is taken.
+    assert gate.report_token("m0") == 2
+    assert gate.admit_report("m0", gate.report_token("m0"))

@@ -1,0 +1,108 @@
+"""Journal shipping: in-order apply, cumulative acks, loss recovery."""
+
+from repro.recovery import Journal
+from repro.replication import JournalReplicator
+from repro.sim import Environment, Network
+
+
+class ScriptedDrop:
+    """Drop the next ``n`` journal messages to ``dst`` (then deliver)."""
+
+    def __init__(self, dst):
+        self.dst = dst
+        self.remaining = 0
+
+    def drops(self, src, dst, kind):
+        if kind == "journal" and dst == self.dst and self.remaining > 0:
+            self.remaining -= 1
+            return True
+        return False
+
+
+def make_world(standbys=("S1",)):
+    env = Environment()
+    network = Network(env)
+    network.add_node("L")
+    for s in standbys:
+        network.add_node(s)
+    journal = Journal(env, append_cost_s=0.0)
+    rep = JournalReplicator(env, network, journal, "L", list(standbys),
+                            ship_interval_s=0.5, batch=16)
+    return env, network, journal, rep
+
+
+def test_ship_apply_ack_in_order():
+    env, network, journal, rep = make_world()
+    applied = []
+    rep.on_apply = lambda s, r: applied.append((s, r.seq))
+    for i in range(5):
+        journal.append("submit", {"task_id": i})
+    env.run(until=2.0)
+    assert rep.applied_seq("S1") == 4
+    assert rep.acked["S1"] == 4
+    assert applied == [("S1", i) for i in range(5)]
+    assert [r.seq for r in rep.replicas["S1"]] == list(range(5))
+    assert rep.out_of_order == 0 and rep.duplicates == 0
+    # Nothing left to ship: a fully acked standby costs no traffic.
+    shipped = rep.shipped_records
+    env.run(until=4.0)
+    assert rep.shipped_records == shipped
+    assert rep.lag_of("S1") == 0
+
+
+def test_dropped_record_gaps_are_discarded_then_reshipped():
+    env, network, journal, rep = make_world()
+    drop = network.attach(ScriptedDrop("S1"))
+    journal.append("submit", {"task_id": 0})
+    journal.append("dispatch", {"task_id": 0})
+    drop.remaining = 1  # eat seq 0 in flight; seq 1 arrives as a gap
+    env.run(until=0.6)
+    assert rep.out_of_order == 1
+    assert rep.applied_seq("S1") == -1  # the gap never applied
+    assert rep.acked["S1"] == -1       # and a gap is never acked
+    env.run(until=2.0)
+    # Next ticks re-ship from the cumulative ack: both land, in order.
+    assert rep.applied_seq("S1") == 1
+    assert rep.acked["S1"] == 1
+    assert rep.resends >= 1
+    assert [r.seq for r in rep.replicas["S1"]] == [0, 1]
+    assert rep.duplicates == 0
+
+
+def test_lost_ack_reships_and_deduplicates():
+    env, network, journal, rep = make_world()
+
+    class AckEater:
+        eating = True
+
+        def drops(self, src, dst, kind):
+            return kind == "journal_ack" and self.eating
+
+    eater = network.attach(AckEater())
+    journal.append("submit", {"task_id": 0})
+    env.run(until=1.1)
+    # Applied but never acked: the leader keeps re-shipping.
+    assert rep.applied_seq("S1") == 0
+    assert rep.acked["S1"] == -1
+    assert rep.resends >= 1
+    eater.eating = False
+    env.run(until=2.5)
+    assert rep.acked["S1"] == 0
+    # The re-shipped copies were recognized, not re-applied.
+    assert rep.duplicates >= 1
+    assert [r.seq for r in rep.replicas["S1"]] == [0]
+
+
+def test_set_leader_swaps_the_shipping_direction():
+    env, network, journal, rep = make_world(standbys=("S1", "S2"))
+    journal.append("submit", {"task_id": 0})
+    env.run(until=1.1)
+    assert rep.acked["S1"] == 0 and rep.acked["S2"] == 0
+    rep.set_leader("S1")
+    assert rep.leader == "S1"
+    assert sorted(rep.standbys) == ["L", "S2"]
+    journal.append("dispatch", {"task_id": 0})
+    env.run(until=2.5)
+    # The new leader ships to everyone else, old leader included.
+    assert rep.applied_seq("S2") == 1
+    assert rep.acked["S2"] == 1

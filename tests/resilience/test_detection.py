@@ -112,10 +112,18 @@ def test_emitter_feeds_detector_and_suppresses_when_down():
     assert det.heartbeats == emitter.sent
 
 
-def test_emitter_without_rng_is_unjittered():
+def test_emitter_with_jitter_requires_rng():
+    """Regression: jitter > 0 without an rng used to silently phase-lock."""
     env = Environment()
     det = PhiAccrualDetector(env)
-    emitter = HeartbeatEmitter(env, det, "a", 2.0)
+    with pytest.raises(ValueError, match="jitter > 0 requires a named rng"):
+        HeartbeatEmitter(env, det, "a", 2.0)  # default jitter is 0.1
+
+
+def test_emitter_with_explicit_zero_jitter_is_unjittered():
+    env = Environment()
+    det = PhiAccrualDetector(env)
+    emitter = HeartbeatEmitter(env, det, "a", 2.0, jitter=0.0)
     env.run(until=10.0)
     assert emitter.sent == 4  # beats at 2, 4, 6, 8 (10.0 not reached)
 
