@@ -61,6 +61,11 @@ LAYERS: dict[str, frozenset[str]] = {
     "serverless": DOMAIN_DEPS,
     # -- top: cross-cutting observation (never imported by domains) ------
     "observability": frozenset({"sim"}),
+    #: Chaos-fuzzing campaigns: generates fault schedules (sim RNG
+    #: streams), executes them through the chaos harness (faults), and
+    #: judges runs with trace digests (analysis sanitizers). Sits at the
+    #: top next to observability; nothing imports it.
+    "campaign": frozenset({"sim", "faults", "analysis"}),
 }
 
 #: Per-file overrides (matched by path suffix). The two harness modules

@@ -1,0 +1,92 @@
+"""Deterministic chaos-fuzzing campaigns over the composed worlds.
+
+FoundationDB-style simulation testing for the repro ecosystem
+(Principle P3, Challenges C3/C6): instead of hand-curating a handful of
+chaos scenarios, a campaign *generates* hundreds of randomized,
+serializable :class:`FaultSchedule` objects — partitions, gray
+failures, crashes, correlated bursts, message loss, overload ramps —
+and runs each against the composed partition/failover worlds under a
+stack of safety, liveness, and determinism oracles
+(:mod:`repro.campaign.oracles`).
+
+Because every schedule is a pure function of ``(root_seed, index)`` and
+every world run is deterministic under its seed, a failure found
+anywhere replays everywhere: the shard runner
+(:mod:`repro.campaign.runner`) produces verdicts that are invariant to
+the worker count, and the shrinker (:mod:`repro.campaign.shrink`)
+delta-debugs a failing schedule down to a minimal repro file that
+``python -m repro.campaign repro <file>`` re-executes exactly.
+
+See ``docs/campaigns.md`` for the schedule format, the oracle catalog,
+and the shrink/repro workflow.
+"""
+
+from repro.campaign.oracles import (
+    CampaignRun,
+    Oracle,
+    OracleStack,
+    RunVerdict,
+    WORLD_RUNNERS,
+    execute_schedule,
+    merge_metrics,
+    standard_oracles,
+)
+from repro.campaign.runner import (
+    CampaignConfig,
+    CampaignReport,
+    generate_schedules,
+    run_campaign,
+)
+from repro.campaign.schedule import (
+    EPISODE_KINDS,
+    Episode,
+    FaultSchedule,
+    KINDS_BY_WORLD,
+    SCHEDULE_FORMAT,
+    ScheduleEnvelope,
+    WORLDS,
+    derive_seed,
+    generate_schedule,
+    normalize_episodes,
+)
+from repro.campaign.shrink import (
+    REPRO_FORMAT,
+    ReproOutcome,
+    ShrinkResult,
+    load_repro,
+    replay_repro,
+    repro_dict,
+    shrink_schedule,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignRun",
+    "EPISODE_KINDS",
+    "Episode",
+    "FaultSchedule",
+    "KINDS_BY_WORLD",
+    "Oracle",
+    "OracleStack",
+    "REPRO_FORMAT",
+    "ReproOutcome",
+    "RunVerdict",
+    "SCHEDULE_FORMAT",
+    "ScheduleEnvelope",
+    "ShrinkResult",
+    "WORLDS",
+    "WORLD_RUNNERS",
+    "derive_seed",
+    "execute_schedule",
+    "generate_schedule",
+    "generate_schedules",
+    "load_repro",
+    "merge_metrics",
+    "normalize_episodes",
+    "replay_repro",
+    "repro_dict",
+    "run_campaign",
+    "shrink_schedule",
+    "standard_oracles",
+]

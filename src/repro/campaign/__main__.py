@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.campaign``."""
+
+import sys
+
+from repro.campaign.cli import main
+
+sys.exit(main())

@@ -1,0 +1,372 @@
+"""Serializable randomized fault schedules for deterministic fuzzing.
+
+A :class:`FaultSchedule` is the campaign's unit of work: a typed list of
+fault :class:`Episode` objects — network partitions, gray failures,
+scheduler crashes, correlated bursts, scheduled message loss, and
+overload ramps — plus the world it runs against, the world's root seed,
+and a sim-time budget. Schedules serialize to canonical JSON and carry a
+SHA-256 digest, so a failing schedule found on one machine (or one
+shard) replays bit-for-bit anywhere: the digest *is* the identity.
+
+:func:`generate_schedule` samples schedules from a configurable
+:class:`ScheduleEnvelope` using named
+:class:`~repro.sim.RandomStreams` only — no global RNG, no wall clock —
+so schedule ``i`` of root seed ``s`` is the same schedule forever,
+independent of how many shards the campaign runs on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from repro.faults.partition import PartitionEpisode
+from repro.sim import RandomStreams
+
+__all__ = [
+    "EPISODE_KINDS",
+    "Episode",
+    "FaultSchedule",
+    "KINDS_BY_WORLD",
+    "SCHEDULE_FORMAT",
+    "ScheduleEnvelope",
+    "WORLDS",
+    "derive_seed",
+    "generate_schedule",
+    "normalize_episodes",
+]
+
+SCHEDULE_FORMAT = "repro.campaign/schedule/1"
+
+#: The worlds a schedule can target — the two composed chaos scenarios.
+WORLDS = ("partition", "failover")
+
+#: Every typed fault an episode can inject.
+EPISODE_KINDS = ("partition", "gray", "crash", "burst", "loss", "overload")
+
+#: Which kinds each world understands. The failover world's scheduler
+#: crashes are organic (the control plane fails it over), so forced
+#: ``crash`` episodes only exist in the partition world.
+KINDS_BY_WORLD = {
+    "partition": frozenset(EPISODE_KINDS),
+    "failover": frozenset(("partition", "gray", "burst", "loss",
+                           "overload")),
+}
+
+_DIRECTIONS = ("both", "outbound", "inbound")
+_GRAY_ROLES = ("worker", "scheduler")
+
+#: Kinds whose episodes must not overlap each other: partitions within a
+#: group (the network model's half-open-interval contract) and scheduler
+#: crash windows (the scheduler cannot crash while already down).
+_EXCLUSIVE_KINDS = frozenset(("partition", "crash"))
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One typed fault over the half-open sim-time window [start, end).
+
+    ``params`` carries the kind-specific knobs: ``direction`` for
+    partitions, ``role`` for gray failures, ``rate`` for loss,
+    ``fraction`` for bursts, ``factor`` for overload ramps. Crash
+    episodes need none — the outage is ``end_s - start_s``.
+    """
+
+    kind: str
+    start_s: float
+    end_s: float
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in EPISODE_KINDS:
+            raise ValueError(f"unknown episode kind {self.kind!r}; "
+                             f"known: {EPISODE_KINDS}")
+        if not 0 <= self.start_s < self.end_s:
+            raise ValueError(
+                f"{self.kind} episode [{self.start_s}, {self.end_s}) "
+                "needs 0 <= start < end")
+        if self.kind == "partition":
+            direction = self.params.get("direction", "both")
+            if direction not in _DIRECTIONS:
+                raise ValueError(f"partition direction {direction!r} not "
+                                 f"in {_DIRECTIONS}")
+        elif self.kind == "gray":
+            role = self.params.get("role", "worker")
+            if role not in _GRAY_ROLES:
+                raise ValueError(f"gray role {role!r} not in {_GRAY_ROLES}")
+        elif self.kind == "loss":
+            rate = self.params.get("rate")
+            if rate is None or not 0.0 < rate < 1.0:
+                raise ValueError(f"loss rate {rate!r} not in (0, 1)")
+        elif self.kind == "burst":
+            fraction = self.params.get("fraction")
+            if fraction is None or not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"burst fraction {fraction!r} not in (0, 1]")
+        elif self.kind == "overload":
+            factor = self.params.get("factor")
+            if factor is None or factor < 1.0:
+                raise ValueError(f"overload factor {factor!r} must be >= 1")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "start_s": self.start_s,
+                "end_s": self.end_s, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Episode":
+        return cls(kind=data["kind"], start_s=float(data["start_s"]),
+                   end_s=float(data["end_s"]),
+                   params=dict(data.get("params", {})))
+
+
+def normalize_episodes(episodes: Iterable[Episode]) -> tuple:
+    """Sort episodes and clip same-kind overlaps for exclusive kinds.
+
+    Episodes are ordered by ``(start_s, end_s, kind)``. For partitions
+    and crashes, a later episode starting inside an earlier one of the
+    same kind is clipped to start at the earlier one's end; episodes
+    swallowed whole are dropped. Gray/burst/loss/overload episodes may
+    overlap freely — their models take the max over active windows.
+    """
+    ordered = sorted(episodes,
+                     key=lambda e: (e.start_s, e.end_s, e.kind))
+    out: list[Episode] = []
+    last_end: dict[str, float] = {}
+    for episode in ordered:
+        if episode.kind in _EXCLUSIVE_KINDS:
+            floor = last_end.get(episode.kind, 0.0)
+            start = max(episode.start_s, floor)
+            if start >= episode.end_s:
+                continue  # swallowed whole by the previous window
+            if start != episode.start_s:
+                episode = replace(episode, start_s=start)
+            last_end[episode.kind] = episode.end_s
+        out.append(episode)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A complete, replayable fault plan for one world run."""
+
+    world: str
+    seed: int
+    sim_budget_s: float
+    episodes: tuple = ()
+
+    def __post_init__(self):
+        if self.world not in WORLDS:
+            raise ValueError(f"unknown world {self.world!r}; "
+                             f"known: {WORLDS}")
+        if self.sim_budget_s <= 0:
+            raise ValueError("sim_budget_s must be positive")
+        allowed = KINDS_BY_WORLD[self.world]
+        for episode in self.episodes:
+            if episode.kind not in allowed:
+                raise ValueError(
+                    f"episode kind {episode.kind!r} is not supported by "
+                    f"the {self.world!r} world (allowed: {sorted(allowed)})")
+        object.__setattr__(self, "episodes",
+                           normalize_episodes(self.episodes))
+
+    # -- identity ----------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "format": SCHEDULE_FORMAT,
+            "world": self.world,
+            "seed": self.seed,
+            "sim_budget_s": self.sim_budget_s,
+            "episodes": [e.as_dict() for e in self.episodes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        fmt = data.get("format", SCHEDULE_FORMAT)
+        if fmt != SCHEDULE_FORMAT:
+            raise ValueError(f"unknown schedule format {fmt!r}")
+        return cls(world=data["world"], seed=int(data["seed"]),
+                   sim_budget_s=float(data["sim_budget_s"]),
+                   episodes=tuple(Episode.from_dict(e)
+                                  for e in data["episodes"]))
+
+    def canonical_json(self) -> str:
+        """Key-sorted, whitespace-free JSON — the digest's input."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON: the schedule's identity."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def dumps(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    # -- world binding -----------------------------------------------------
+    def to_world_kwargs(self) -> dict:
+        """Translate the schedule into ``run_*_scenario`` keyword args.
+
+        Every schedule-driven knob is set *explicitly* (empty lists, not
+        ``None``), so a schedule fully determines the fault envelope —
+        the scenario's built-in default faults never leak into a
+        campaign run.
+        """
+        group = "minority" if self.world == "partition" else "old-leader"
+        by_kind: dict[str, list] = {kind: [] for kind in EPISODE_KINDS}
+        for episode in self.episodes:
+            by_kind[episode.kind].append(episode)
+        kwargs: dict = {
+            "seed": self.seed,
+            "sim_budget_s": self.sim_budget_s,
+            "invariant_halt": False,
+            "partition_episodes": [
+                PartitionEpisode(e.start_s, e.end_s, group,
+                                 e.params.get("direction", "both"))
+                for e in by_kind["partition"]],
+            "burst_episodes": [(e.start_s, e.end_s, e.params["fraction"])
+                               for e in by_kind["burst"]],
+            "loss_episodes": [(e.start_s, e.end_s, e.params["rate"])
+                              for e in by_kind["loss"]],
+            "overload_spans": [(e.start_s, e.end_s, e.params["factor"])
+                               for e in by_kind["overload"]],
+        }
+        if self.world == "partition":
+            gray_spans: dict[str, list] = {"worker": [], "scheduler": []}
+            for e in by_kind["gray"]:
+                gray_spans[e.params.get("role", "worker")].append(
+                    (e.start_s, e.end_s))
+            kwargs["gray_spans"] = gray_spans
+            kwargs["crash_schedule"] = [(e.start_s, e.duration_s)
+                                        for e in by_kind["crash"]]
+        else:
+            # The failover world grays only its boot leader; the role
+            # distinction collapses.
+            kwargs["gray_spans"] = [(e.start_s, e.end_s)
+                                    for e in by_kind["gray"]]
+        return kwargs
+
+
+# -- generation -------------------------------------------------------------
+
+def derive_seed(root_seed: int, index: int) -> int:
+    """The per-schedule world seed: sha256-derived, shard-invariant."""
+    digest = hashlib.sha256(f"{root_seed}:world:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2 ** 31)
+
+
+@dataclass(frozen=True)
+class ScheduleEnvelope:
+    """The sampling envelope :func:`generate_schedule` draws from.
+
+    ``kind_weights`` is a tuple of ``(kind, weight)`` pairs; kinds the
+    target world does not support are rejected at construction.
+    """
+
+    world: str = "partition"
+    max_episodes: int = 6
+    horizon_s: float = 240.0
+    min_duration_s: float = 10.0
+    max_duration_s: float = 90.0
+    sim_budget_s: float = 600.0
+    min_crash_outage_s: float = 2.0
+    max_crash_outage_s: float = 12.0
+    min_loss_rate: float = 0.05
+    max_loss_rate: float = 0.25
+    min_overload_factor: float = 1.2
+    max_overload_factor: float = 2.5
+    min_burst_fraction: float = 0.1
+    max_burst_fraction: float = 0.4
+    kind_weights: tuple = (("partition", 2.0), ("gray", 2.0),
+                           ("crash", 1.0), ("burst", 1.0),
+                           ("loss", 1.0), ("overload", 1.0))
+
+    def __post_init__(self):
+        if self.world not in WORLDS:
+            raise ValueError(f"unknown world {self.world!r}")
+        if self.max_episodes < 1:
+            raise ValueError("max_episodes must be >= 1")
+        allowed = KINDS_BY_WORLD[self.world]
+        for kind, weight in self.kind_weights:
+            if kind not in allowed:
+                raise ValueError(
+                    f"kind {kind!r} (weight {weight}) is not supported "
+                    f"by the {self.world!r} world")
+            if weight < 0:
+                raise ValueError(f"negative weight for kind {kind!r}")
+
+    @classmethod
+    def for_world(cls, world: str, **overrides) -> "ScheduleEnvelope":
+        """The default envelope for ``world``, minus unsupported kinds."""
+        allowed = KINDS_BY_WORLD[world]
+        weights = tuple((kind, weight) for kind, weight
+                        in cls.kind_weights
+                        if kind in allowed)
+        overrides.setdefault("kind_weights", weights)
+        return cls(world=world, **overrides)
+
+
+def generate_schedule(streams: RandomStreams, envelope: ScheduleEnvelope,
+                      *, index: int,
+                      seed: Optional[int] = None) -> FaultSchedule:
+    """Sample one schedule from ``envelope`` — named streams only.
+
+    The draw order is fixed per episode (kind, start, duration, then the
+    kind's parameter), so the schedule at ``(root_seed, index)`` is
+    stable across shard counts, platforms, and runs. ``seed`` defaults
+    to nothing sensible — campaigns pass :func:`derive_seed` explicitly
+    so the world seed, too, is a pure function of ``(root_seed, index)``.
+    """
+    rng = streams.get(f"schedule-{index:06d}")
+    if seed is None:
+        seed = int(rng.integers(0, 2 ** 31))
+    kinds = [kind for kind, _ in envelope.kind_weights]
+    weights = [weight for _, weight in envelope.kind_weights]
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("kind_weights must have positive total weight")
+    probabilities = [w / total for w in weights]
+    n_episodes = int(rng.integers(1, envelope.max_episodes + 1))
+    episodes: list[Episode] = []
+    for _ in range(n_episodes):
+        kind = kinds[int(rng.choice(len(kinds), p=probabilities))]
+        start = round(float(rng.uniform(0.0, envelope.horizon_s)), 3)
+        if kind == "crash":
+            duration = float(rng.uniform(envelope.min_crash_outage_s,
+                                         envelope.max_crash_outage_s))
+        else:
+            duration = float(rng.uniform(envelope.min_duration_s,
+                                         envelope.max_duration_s))
+        end = round(start + duration, 3)
+        params: dict = {}
+        if kind == "partition":
+            params["direction"] = _DIRECTIONS[int(rng.integers(0, 3))]
+        elif kind == "gray":
+            if envelope.world == "partition":
+                params["role"] = _GRAY_ROLES[int(rng.integers(0, 2))]
+            else:
+                params["role"] = "worker"
+        elif kind == "loss":
+            params["rate"] = round(float(rng.uniform(
+                envelope.min_loss_rate, envelope.max_loss_rate)), 4)
+        elif kind == "burst":
+            params["fraction"] = round(float(rng.uniform(
+                envelope.min_burst_fraction,
+                envelope.max_burst_fraction)), 4)
+        elif kind == "overload":
+            params["factor"] = round(float(rng.uniform(
+                envelope.min_overload_factor,
+                envelope.max_overload_factor)), 4)
+        episodes.append(Episode(kind=kind, start_s=start, end_s=end,
+                                params=params))
+    return FaultSchedule(world=envelope.world, seed=seed,
+                         sim_budget_s=envelope.sim_budget_s,
+                         episodes=tuple(episodes))

@@ -34,6 +34,7 @@ from repro.faults.partition import (
     GrayFailureModel,
     NetworkPartitionModel,
     PartitionEpisode,
+    ScheduledMessageLoss,
 )
 from repro.faults.policies import (
     BreakerState,
@@ -59,6 +60,7 @@ __all__ = [
     "NetworkPartitionModel",
     "PartitionEpisode",
     "RetryPolicy",
+    "ScheduledMessageLoss",
     "StragglerModel",
     "TimeoutExceeded",
     "TransientErrorModel",

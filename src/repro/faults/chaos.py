@@ -14,8 +14,9 @@ Run ``python examples/chaos_experiment.py`` for the full demo.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -26,6 +27,7 @@ from repro.faults.partition import (
     GrayFailureModel,
     NetworkPartitionModel,
     PartitionEpisode,
+    ScheduledMessageLoss,
 )
 from repro.faults.policies import RetryPolicy
 from repro.invariants import InvariantEngine, standard_laws
@@ -466,6 +468,31 @@ def run_scheduler_recovery_scenario(seed: int = 0,
 
 # -- composed ecosystem: partition + gray failure + invariants -------------
 
+def _overload_factor(spans, now: float) -> float:
+    """Highest active overload multiplier at ``now`` (1.0 when idle)."""
+    factor = 1.0
+    for start, end, mult in spans or ():
+        if start <= now < end:
+            factor = max(factor, float(mult))
+    return factor
+
+
+def _merge_burst_spans(gray_episodes: dict, machines,
+                       burst_episodes) -> None:
+    """Gray-degrade the first ``ceil(fraction * fleet)`` machines per burst.
+
+    Correlated bursts pick their victims deterministically — a fixed
+    prefix of the machine list — so a schedule replays identically with
+    no RNG stream of its own.
+    """
+    for start, end, fraction in burst_episodes or ():
+        k = min(len(machines), max(1, math.ceil(float(fraction)
+                                                * len(machines))))
+        for machine in machines[:k]:
+            gray_episodes.setdefault(machine.name, []).append(
+                (float(start), float(end)))
+
+
 class FrontDoor:
     """Admission-controlled entry point feeding a scheduler incrementally.
 
@@ -542,6 +569,15 @@ def run_partition_scenario(seed: int = 0,
                            job_mtbf_s: float = 150.0,
                            check_interval_s: float = 1.0,
                            invariants: bool = True,
+                           invariant_halt: bool = True,
+                           partition_episodes: Optional[Iterable] = None,
+                           gray_spans: Optional[dict] = None,
+                           crash_schedule: Optional[Iterable] = None,
+                           burst_episodes: Optional[Iterable] = None,
+                           loss_episodes: Optional[Iterable] = None,
+                           overload_spans: Optional[Iterable] = None,
+                           sim_budget_s: Optional[float] = None,
+                           report_retry: bool = True,
                            tracer=None, registry=None) -> dict:
     """The composed-ecosystem chaos study: every layer at once.
 
@@ -561,6 +597,18 @@ def run_partition_scenario(seed: int = 0,
     so partitioned workers are suspected (reason ``"silence"``) while
     gray workers — whose heartbeats are protected, per the definition of
     a gray failure — are never declared dead.
+
+    The schedule knobs (all default-``None``, leaving the classic run
+    byte-identical) let a fuzzing campaign drive the same world from a
+    serialized :class:`~repro.campaign.FaultSchedule`:
+    ``partition_episodes`` replaces the single minority cut,
+    ``gray_spans`` maps the roles ``"worker"``/``"scheduler"`` to span
+    lists, ``crash_schedule`` is ``[(crash_at_s, outage_s), ...]``,
+    ``burst_episodes``/``loss_episodes``/``overload_spans`` add
+    correlated gray bursts, scheduled message loss, and arrival-rate
+    multipliers, and ``sim_budget_s`` bounds the run in sim-time so no
+    random schedule can wedge it. ``report_retry=False`` plants the
+    known lost-completion-report liveness bug for oracle validation.
     """
     if not 0 < minority < n_machines:
         raise ValueError("minority must be in (0, n_machines)")
@@ -572,20 +620,34 @@ def run_partition_scenario(seed: int = 0,
     minority_names = [m.name for m in cluster.machines[-minority:]]
     gray_worker = cluster.machines[-minority - 1].name
 
+    if partition_episodes is None:
+        partition_episodes = [PartitionEpisode(
+            partition_start_s, partition_end_s,
+            "minority", partition_direction)]
+    if gray_spans is None:
+        gray_spans = {"worker": [gray_worker_span],
+                      "scheduler": [gray_scheduler_span]}
+    gray_episodes = {
+        gray_worker: [tuple(s) for s in gray_spans.get("worker", ())],
+        "scheduler": [tuple(s) for s in gray_spans.get("scheduler", ())]}
+    _merge_burst_spans(gray_episodes, cluster.machines, burst_episodes)
+
     network = Network(env, monitor=Monitor(env, registry=registry,
                                            namespace="network"))
     partition = network.attach(NetworkPartitionModel(
         env, groups={"minority": minority_names},
-        episodes=[PartitionEpisode(partition_start_s, partition_end_s,
-                                   "minority", partition_direction)],
+        episodes=list(partition_episodes),
         monitor=Monitor(env, registry=registry, namespace="partition")))
     gray = network.attach(GrayFailureModel(
         env, streams.get("gray-failures"),
         slowdown=gray_slowdown, drop_rate=gray_drop_rate,
         extra_latency_s=gray_latency_s,
-        episodes={gray_worker: [gray_worker_span],
-                  "scheduler": [gray_scheduler_span]},
+        episodes=gray_episodes,
         monitor=Monitor(env, registry=registry, namespace="gray")))
+    if loss_episodes:
+        network.attach(ScheduledMessageLoss(
+            env, streams.get("message-loss"), loss_episodes,
+            monitor=Monitor(env, registry=registry, namespace="loss")))
 
     detector = PhiAccrualDetector(
         env, threshold=8.0, poll_interval_s=0.5,
@@ -600,6 +662,7 @@ def run_partition_scenario(seed: int = 0,
                            network=network, node_name="scheduler",
                            service_time_factor=lambda m:
                                gray.service_factor(m.name),
+                           report_retry=report_retry,
                            tracer=tracer, registry=registry)
 
     def add_heartbeat(machine: Machine) -> None:
@@ -654,6 +717,7 @@ def run_partition_scenario(seed: int = 0,
             standard_laws(network=network, scheduler=sim, platform=platform,
                           front_door=door, jobs=[job]),
             check_interval_s=check_interval_s,
+            halt=invariant_halt, seed=seed,
             monitor=Monitor(env, registry=registry, namespace="invariants"))
 
     task_rng = streams.get("task-sizes")
@@ -662,22 +726,32 @@ def run_partition_scenario(seed: int = 0,
 
     def task_driver(env):
         for _ in range(n_tasks):
-            yield env.timeout(
-                float(task_arrivals.exponential(1.0 / task_rate_per_s)))
+            rate = task_rate_per_s * _overload_factor(overload_spans,
+                                                      env.now)
+            yield env.timeout(float(task_arrivals.exponential(1.0 / rate)))
             door.offer(Task(work=float(task_rng.uniform(20.0, 80.0))))
         sim.close_submissions()
 
     def invoke_driver(env):
         for _ in range(n_invocations):
-            yield env.timeout(
-                float(invoke_arrivals.exponential(1.0 / invoke_rate_per_s)))
+            rate = invoke_rate_per_s * _overload_factor(overload_spans,
+                                                        env.now)
+            yield env.timeout(float(invoke_arrivals.exponential(1.0 / rate)))
             platform.invoke("f")
 
+    crashes = ([(crash_at_s, outage_s)] if crash_schedule is None
+               else sorted((float(at), float(down))
+                           for at, down in crash_schedule))
+
     def outage(env):
-        yield env.timeout(crash_at_s)
-        sim.crash_scheduler()
-        yield env.timeout(outage_s)
-        yield from sim.recover_scheduler()
+        for at, down_s in crashes:
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            if sim.all_done or sim.crashed:
+                continue
+            sim.crash_scheduler()
+            yield env.timeout(down_s)
+            yield from sim.recover_scheduler()
 
     scale_limit = 2
     scaled: list[Machine] = []
@@ -702,12 +776,17 @@ def run_partition_scenario(seed: int = 0,
     env.process(outage(env))
     env.process(autoscaler(env))
 
-    env.run(until=sim._scheduler)
-    if job.finished_at is None:
-        env.run(until=job.done)
-    # Drain in-flight serverless retries, network deliveries, and a last
-    # few invariant audit rounds past the final interesting event.
-    env.run(until=env.now + 30.0)
+    if sim_budget_s is None:
+        env.run(until=sim._scheduler)
+        if job.finished_at is None:
+            env.run(until=job.done)
+        # Drain in-flight serverless retries, network deliveries, and a
+        # last few invariant audit rounds past the final interesting event.
+        env.run(until=env.now + 30.0)
+    else:
+        # Campaign mode: a hard sim-time ceiling, so no random schedule
+        # can wedge the run waiting for a scheduler that never finishes.
+        env.run(until=sim_budget_s)
     if engine is not None:
         engine.check_now()
     if door.brownout is not None:
@@ -715,8 +794,8 @@ def run_partition_scenario(seed: int = 0,
     if platform.brownout is not None:
         platform.brownout.finish(env.now)
 
-    metrics = sim.metrics()
-    job_stats = job.stats()
+    metrics = sim.metrics() if sim.finished else None
+    job_stats = job.stats() if job.finished_at is not None else None
     suspected_minority = [name for name in minority_names
                           if any(key == name
                                  for key, _, _ in detector.suspicion_log)]
@@ -734,7 +813,7 @@ def run_partition_scenario(seed: int = 0,
         "admitted": door.admitted,
         "door_shed": door.shed,
         "submitted": sim.submitted,
-        "completed": metrics.n_tasks,
+        "completed": metrics.n_tasks if metrics is not None else 0,
         "lost": len(sim.failed),
         "restarts": sim.restarts,
         "misdispatches": sim.misdispatches,
@@ -744,7 +823,10 @@ def run_partition_scenario(seed: int = 0,
         "readopted": sim.readopted,
         "orphans_requeued": sim.orphans_requeued,
         "scaled_up": len(scaled),
-        "makespan_s": round(metrics.makespan_s, 3),
+        "all_done": sim.all_done,
+        "sim_time_s": round(env.now, 3),
+        "makespan_s": (round(metrics.makespan_s, 3)
+                       if metrics is not None else None),
         # detection
         "suspicions": detector.suspicions,
         "suspicions_by_reason": dict(detector.suspicions_by_reason),
@@ -766,8 +848,11 @@ def run_partition_scenario(seed: int = 0,
         "invocations_completed": len(platform.completed("f")),
         "slo_attainment": platform.slo_attainment(1.5, "f"),
         # recovery side job
-        "job_makespan_s": round(job_stats.makespan_s, 3),
-        "job_crashes": job_stats.crashes,
+        "job_makespan_s": (round(job_stats.makespan_s, 3)
+                           if job_stats is not None else None),
+        "job_crashes": (job_stats.crashes
+                        if job_stats is not None else job.crashes),
+        "job_finished": job.finished_at is not None,
         "job_availability": round(crash.empirical_availability(), 6),
         # invariants
         "invariant_checks": engine.checks if engine is not None else 0,
@@ -794,6 +879,15 @@ def run_failover_scenario(seed: int = 0,
                           restart_cost_s: float = 5.0,
                           replay_cost_per_record_s: float = 0.01,
                           check_interval_s: float = 1.0,
+                          invariant_halt: bool = True,
+                          partition_episodes: Optional[Iterable] = None,
+                          gray_spans: Optional[Iterable] = None,
+                          burst_episodes: Optional[Iterable] = None,
+                          loss_episodes: Optional[Iterable] = None,
+                          overload_spans: Optional[Iterable] = None,
+                          sim_budget_s: Optional[float] = None,
+                          fence_on_failover: bool = True,
+                          report_retry: bool = True,
                           tracer=None, registry=None) -> dict:
     """The failover study: a partitioned, gray-failing leader is replaced.
 
@@ -815,6 +909,15 @@ def run_failover_scenario(seed: int = 0,
     the rejections teach it to step down. Split-brain is an observable
     non-event: zero tasks lost, zero duplicated, exactly one leader per
     term, audited every simulated second.
+
+    The schedule knobs mirror :func:`run_partition_scenario` (defaults
+    leave the classic run byte-identical): ``partition_episodes`` acts on
+    the ``"old-leader"`` group, ``gray_spans`` is a list of spans for the
+    boot leader ``cp-0``, bursts gray-degrade a machine-fleet prefix,
+    and ``sim_budget_s`` bounds the run. ``fence_on_failover=False``
+    plants the known split-brain safety bug (promotion never fences nor
+    advances the epoch), ``report_retry=False`` the lost-report liveness
+    bug — both are what a campaign's oracles exist to catch.
     """
     streams = RandomStreams(seed)
     env = Environment()
@@ -823,22 +926,33 @@ def run_failover_scenario(seed: int = 0,
     cluster = Cluster.homogeneous("failover", n_machines, cores=4)
     nodes = ("cp-0", "cp-1", "cp-2")
 
+    if partition_episodes is None:
+        partition_episodes = [
+            PartitionEpisode(partition_start_s, partition_heal_s,
+                             "old-leader", "both"),
+            PartitionEpisode(partition_heal_s, oneway_heal_s,
+                             "old-leader", "inbound")]
+    gray_episodes = {"cp-0": ([gray_span] if gray_spans is None
+                              else [tuple(s) for s in gray_spans])}
+    _merge_burst_spans(gray_episodes, cluster.machines, burst_episodes)
+
     network = Network(env, monitor=Monitor(env, registry=registry,
                                            namespace="network"))
     network.attach(NetworkPartitionModel(
         env, groups={"old-leader": ["cp-0"]},
-        episodes=[PartitionEpisode(partition_start_s, partition_heal_s,
-                                   "old-leader", "both"),
-                  PartitionEpisode(partition_heal_s, oneway_heal_s,
-                                   "old-leader", "inbound")],
+        episodes=list(partition_episodes),
         monitor=Monitor(env, registry=registry, namespace="partition")))
     network.attach(GrayFailureModel(
         env, streams.get("gray-failures"),
         slowdown=2.0, drop_rate=gray_drop_rate,
         extra_latency_s=gray_latency_s,
-        episodes={"cp-0": [gray_span]},
+        episodes=gray_episodes,
         protected_kinds=("heartbeat", "lease", "lease_ack"),
         monitor=Monitor(env, registry=registry, namespace="gray")))
+    if loss_episodes:
+        network.attach(ScheduledMessageLoss(
+            env, streams.get("message-loss"), loss_episodes,
+            monitor=Monitor(env, registry=registry, namespace="loss")))
 
     journal = Journal(env, append_cost_s=0.002,
                       replay_cost_per_record_s=replay_cost_per_record_s,
@@ -846,6 +960,7 @@ def run_failover_scenario(seed: int = 0,
     sim = ClusterSimulator(env, cluster, FCFSPolicy(), journal=journal,
                            scheduler_restart_cost_s=restart_cost_s,
                            network=network, node_name="cp-0",
+                           report_retry=report_retry,
                            tracer=tracer, registry=registry)
 
     replication_monitor = Monitor(env, registry=registry,
@@ -861,7 +976,8 @@ def run_failover_scenario(seed: int = 0,
         tracer=tracer,
         # The pathological leader: gray-failed, it never audits its own
         # ack window — exactly the brain fencing exists to stop.
-        self_demote={"cp-0": False})
+        self_demote={"cp-0": False},
+        fence_on_failover=fence_on_failover)
 
     composed_monitor = Monitor(env, registry=registry, namespace="composed")
     door = FrontDoor(
@@ -876,6 +992,7 @@ def run_failover_scenario(seed: int = 0,
         standard_laws(network=network, scheduler=sim, front_door=door,
                       control_plane=control),
         check_interval_s=check_interval_s,
+        halt=invariant_halt, seed=seed,
         monitor=Monitor(env, registry=registry, namespace="invariants"))
 
     task_rng = streams.get("task-sizes")
@@ -883,23 +1000,30 @@ def run_failover_scenario(seed: int = 0,
 
     def task_driver(env):
         for _ in range(n_tasks):
-            yield env.timeout(
-                float(task_arrivals.exponential(1.0 / task_rate_per_s)))
+            rate = task_rate_per_s * _overload_factor(overload_spans,
+                                                      env.now)
+            yield env.timeout(float(task_arrivals.exponential(1.0 / rate)))
             door.offer(Task(work=float(task_rng.uniform(20.0, 80.0))))
         sim.close_submissions()
 
     env.process(task_driver(env))
 
-    env.run(until=sim._scheduler)
-    # The books usually close before the heal; play the epilogue out so
-    # the deposed leader is fenced, deposed, and re-adopted as a standby.
-    env.run(until=max(env.now, oneway_heal_s + 10.0))
-    env.run(until=env.now + 10.0)
+    if sim_budget_s is None:
+        env.run(until=sim._scheduler)
+        # The books usually close before the heal; play the epilogue out
+        # so the deposed leader is fenced, deposed, and re-adopted as a
+        # standby.
+        env.run(until=max(env.now, oneway_heal_s + 10.0))
+        env.run(until=env.now + 10.0)
+    else:
+        # Campaign mode: a hard sim-time ceiling — random schedules must
+        # never wedge the run.
+        env.run(until=sim_budget_s)
     engine.check_now()
     if door.brownout is not None:
         door.brownout.finish(env.now)
 
-    metrics = sim.metrics()
+    metrics = sim.metrics() if sim.finished else None
     first_onset = None
     for _, onset, _ in lease_detector.suspicion_log:
         if onset >= partition_start_s:
@@ -914,7 +1038,7 @@ def run_failover_scenario(seed: int = 0,
         "admitted": door.admitted,
         "door_shed": door.shed,
         "submitted": sim.submitted,
-        "completed": metrics.n_tasks,
+        "completed": metrics.n_tasks if metrics is not None else 0,
         "lost": len(sim.failed),
         "misdispatches": sim.misdispatches,
         "lost_reports": lost_reports.total if lost_reports else 0,
@@ -922,7 +1046,10 @@ def run_failover_scenario(seed: int = 0,
         "recovered_completions": sim.recovered_completions,
         "readopted": sim.readopted,
         "orphans_requeued": sim.orphans_requeued,
-        "makespan_s": round(metrics.makespan_s, 3),
+        "all_done": sim.all_done,
+        "sim_time_s": round(env.now, 3),
+        "makespan_s": (round(metrics.makespan_s, 3)
+                       if metrics is not None else None),
         # election
         "failovers": control.failovers,
         "promotions": control.election.promotions,
@@ -954,6 +1081,7 @@ def run_failover_scenario(seed: int = 0,
         "ship_duplicates": control.replicator.duplicates,
         # fencing
         "stale_dispatches": control.stale_dispatches,
+        "split_brain_writes": control.split_brain_writes,
         "fenced_writes_rejected": control.gate.rejected,
         "fenced_reports": control.gate.fenced_reports,
         "fence_raises": control.gate.fence_raises,

@@ -32,7 +32,8 @@ import numpy as np
 
 from repro.sim import Environment, Monitor
 
-__all__ = ["GrayFailureModel", "NetworkPartitionModel", "PartitionEpisode"]
+__all__ = ["GrayFailureModel", "NetworkPartitionModel", "PartitionEpisode",
+           "ScheduledMessageLoss"]
 
 _DIRECTIONS = ("both", "outbound", "inbound")
 
@@ -75,6 +76,17 @@ class PartitionEpisode:
         if self.direction == "outbound":
             return src_inside
         return dst_inside
+
+    def as_dict(self) -> dict:
+        """A JSON-able representation; :meth:`from_dict` round-trips it."""
+        return {"start_s": self.start_s, "end_s": self.end_s,
+                "isolate": self.isolate, "direction": self.direction}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartitionEpisode":
+        return cls(start_s=float(data["start_s"]), end_s=float(data["end_s"]),
+                   isolate=str(data["isolate"]),
+                   direction=str(data.get("direction", "both")))
 
 
 class NetworkPartitionModel:
@@ -122,7 +134,14 @@ class NetworkPartitionModel:
                         groups: Sequence[str], n: int,
                         horizon_s: float, mean_duration_s: float,
                         one_way_p: float = 0.0) -> list[PartitionEpisode]:
-        """Draw ``n`` episodes from a named stream (for chaos sweeps)."""
+        """Draw up to ``n`` episodes from a named stream (for chaos sweeps).
+
+        Episodes of the same group never overlap: after sampling, each
+        half-open ``[start, end)`` is clipped to start at or after the
+        previous episode of its group ends; an episode swallowed whole by
+        the clip is dropped (so fewer than ``n`` may come back). The same
+        stream state always yields the identical timeline.
+        """
         if n < 0 or horizon_s <= 0 or mean_duration_s <= 0:
             raise ValueError("need n >= 0, positive horizon and duration")
         episodes = []
@@ -136,7 +155,20 @@ class NetworkPartitionModel:
                              else "inbound")
             episodes.append(PartitionEpisode(start, start + duration,
                                              isolate, direction))
-        return sorted(episodes, key=lambda e: (e.start_s, e.end_s))
+        episodes.sort(key=lambda e: (e.start_s, e.end_s, e.isolate))
+        clipped: list[PartitionEpisode] = []
+        last_end: dict[str, float] = {}
+        for episode in episodes:
+            floor = last_end.get(episode.isolate, 0.0)
+            start = max(episode.start_s, floor)
+            if start >= episode.end_s:
+                continue  # swallowed by the previous episode of its group
+            if start != episode.start_s:
+                episode = PartitionEpisode(start, episode.end_s,
+                                           episode.isolate, episode.direction)
+            last_end[episode.isolate] = episode.end_s
+            clipped.append(episode)
+        return clipped
 
     # -- Network model protocol --------------------------------------------
     def blocks(self, src: str, dst: str) -> bool:
@@ -343,3 +375,65 @@ class GrayFailureModel:
         if self.is_gray(src) or self.is_gray(dst):
             return self._added_latency_s
         return 0.0
+
+
+#: Control-plane message kinds a loss episode never eats: liveness and
+#: membership signals have their own fault models (partitions, gray
+#: failures); scheduled loss is a *data-plane* regime.
+_LOSS_PROTECTED_KINDS = ("heartbeat", "lease", "lease_ack", "vote_req",
+                         "vote", "vote_deny", "fence")
+
+
+class ScheduledMessageLoss:
+    """Network-wide data-plane message loss during scheduled windows.
+
+    Each episode is ``(start_s, end_s, rate)``: while any window is
+    active, every unprotected message is dropped with probability
+    ``rate`` (the max over active windows, if they overlap). Speaks the
+    :class:`~repro.sim.Network` model protocol via :meth:`drops`, so it
+    attaches next to partitions and gray failures. RNG is drawn **only
+    while a window is active** — the same-seed baseline stays comparable
+    (the ``TransientErrorModel`` ``enabled`` idiom).
+    """
+
+    def __init__(self, env: Environment, rng: np.random.Generator,
+                 episodes: Iterable[tuple],
+                 protected_kinds: Sequence[str] = _LOSS_PROTECTED_KINDS,
+                 monitor: Optional[Monitor] = None, name: str = "loss"):
+        self.env = env
+        self.rng = rng
+        self.episodes = [(float(a), float(b), float(r))
+                         for a, b, r in episodes]
+        for a, b, r in self.episodes:
+            if a < 0 or b <= a:
+                raise ValueError(f"loss episode [{a}, {b}) needs "
+                                 "0 <= start < end")
+            if not 0.0 <= r < 1.0:
+                raise ValueError(f"loss rate {r} not in [0, 1)")
+        self.protected_kinds = tuple(protected_kinds)
+        self.monitor = monitor
+        self.name = name
+        self.dropped_messages = 0
+
+    def active_rate(self, now: Optional[float] = None) -> float:
+        """The loss rate in force at ``now`` (0 outside every window)."""
+        now = self.env.now if now is None else now
+        rate = 0.0
+        for a, b, r in self.episodes:
+            if a <= now < b and r > rate:
+                rate = r
+        return rate
+
+    # -- Network model protocol --------------------------------------------
+    def drops(self, src: str, dst: str, kind: str) -> bool:
+        if kind in self.protected_kinds:
+            return False
+        rate = self.active_rate()
+        if rate == 0.0:
+            return False
+        hit = bool(self.rng.random() < rate)
+        if hit:
+            self.dropped_messages += 1
+            if self.monitor is not None:
+                self.monitor.count("dropped_messages", key=kind)
+        return hit

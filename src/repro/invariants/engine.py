@@ -34,7 +34,8 @@ class InvariantEngine:
                  laws: Iterable[ConservationLaw] = (),
                  check_interval_s: float = 1.0,
                  monitor: Optional[Monitor] = None,
-                 halt: bool = True):
+                 halt: bool = True,
+                 seed: Optional[int] = None):
         if check_interval_s <= 0:
             raise ValueError("check_interval_s must be positive")
         self.env = env
@@ -42,6 +43,9 @@ class InvariantEngine:
         self.check_interval_s = check_interval_s
         self.monitor = monitor
         self.halt = halt
+        #: The world's root seed, stamped into every violation's message
+        #: so campaign verdicts are self-describing without a re-run.
+        self.seed = seed
         self.checks = 0
         self.violations = 0
         self.violation_log: list[InvariantViolation] = []
@@ -70,7 +74,7 @@ class InvariantEngine:
             if self.monitor is not None:
                 self.monitor.count("checks", key=law.name)
             try:
-                law.check(self.env.now)
+                law.check(self.env.now, seed=self.seed)
             except InvariantViolation as violation:
                 self.violations += 1
                 self.violation_log.append(violation)

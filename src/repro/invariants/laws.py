@@ -45,13 +45,21 @@ def counter_term(registry, metric: str, label: Optional[str] = None) -> Term:
 
 
 class InvariantViolation(AssertionError):
-    """A conservation law failed; carries the labeled per-term deltas."""
+    """A conservation law failed; carries the labeled per-term deltas.
+
+    ``seed`` (when the checking engine knows it) and the sim-time ``t``
+    ride in the message, so a violation collected by a fuzzing campaign
+    is self-describing: the verdict line alone names the world that
+    broke and when, without re-running anything.
+    """
 
     def __init__(self, law: "ConservationLaw", time: float,
                  lhs_values: Sequence[tuple[str, float]],
-                 rhs_values: Sequence[tuple[str, float]]):
+                 rhs_values: Sequence[tuple[str, float]],
+                 seed: Optional[int] = None):
         self.law = law
         self.time = time
+        self.seed = seed
         self.lhs_values = list(lhs_values)
         self.rhs_values = list(rhs_values)
         self.lhs_total = sum(v for _, v in lhs_values)
@@ -59,8 +67,9 @@ class InvariantViolation(AssertionError):
         self.delta = self.lhs_total - self.rhs_total
         lhs = " + ".join(f"{label}={value:g}" for label, value in lhs_values)
         rhs = " + ".join(f"{label}={value:g}" for label, value in rhs_values)
+        origin = f"t={time:g}" if seed is None else f"t={time:g} seed={seed}"
         super().__init__(
-            f"invariant {law.name!r} violated at t={time:g}: "
+            f"invariant {law.name!r} violated at {origin}: "
             f"[{lhs}] = {self.lhs_total:g} != [{rhs}] = {self.rhs_total:g} "
             f"(delta {self.delta:+g})")
 
@@ -98,7 +107,7 @@ class ConservationLaw:
         return ([(t.label, t.value()) for t in self.lhs],
                 [(t.label, t.value()) for t in self.rhs])
 
-    def check(self, time: float = 0.0) -> None:
+    def check(self, time: float = 0.0, seed: Optional[int] = None) -> None:
         """Evaluate and raise :class:`InvariantViolation` on imbalance."""
         if not self.applicable():
             return
@@ -108,4 +117,5 @@ class ConservationLaw:
         rhs_total = sum(v for _, v in rhs_values)
         if abs(lhs_total - rhs_total) > self.tol:
             self.violations += 1
-            raise InvariantViolation(self, time, lhs_values, rhs_values)
+            raise InvariantViolation(self, time, lhs_values, rhs_values,
+                                     seed=seed)

@@ -47,7 +47,8 @@ class ReplicatedControlPlane:
                  detector: Optional[PhiAccrualDetector] = None,
                  monitor: Optional[Monitor] = None,
                  tracer=None,
-                 self_demote: Optional[dict] = None):
+                 self_demote: Optional[dict] = None,
+                 fence_on_failover: bool = True):
         self.env = env
         self.scheduler = scheduler
         self.network = network
@@ -64,6 +65,12 @@ class ReplicatedControlPlane:
         self.takeover_cost_s = takeover_cost_s
         self.probe_interval_s = probe_interval_s
         self.probe_batch = probe_batch
+        #: ``False`` is a deliberately plantable bug knob (for fault-
+        #: injection campaigns): promotion skips the machine fence
+        #: broadcasts, so a deposed leader's stale writes are *accepted*
+        #: — the split-brain the ``replication.fenced_writes_rejected``
+        #: law exists to catch.
+        self.fence_on_failover = fence_on_failover
 
         self.gate = FencingGate(monitor=self.monitor)
         scheduler.fencing = self.gate
@@ -92,6 +99,9 @@ class ReplicatedControlPlane:
         self._believed: dict[str, dict] = {n: {} for n in self.nodes}
         self.failovers = 0
         self.stale_dispatches = 0
+        #: Stale writes a machine *accepted* (possible only with the
+        #: fence disabled) — each one is a split-brain write.
+        self.split_brain_writes = 0
         self.promoted_at: dict[int, float] = {}
         self.deposed_at: dict[str, float] = {}
         self.journal_records_at_failover = 0
@@ -123,14 +133,18 @@ class ReplicatedControlPlane:
         if not self.scheduler.crashed:
             self.scheduler.crash_scheduler()
         # Fence every machine at the new term before the first dispatch.
-        for machine in self.scheduler.cluster.machines:
-            self.network.send(
-                node, machine.name,
-                deliver=lambda m=machine.name, t=term:
-                    self.gate.raise_floor(m, t),
-                kind="fence")
-            self.monitor.count("fence_broadcasts")
-        self.gate.advance(term)
+        # With the bug knob thrown, the new leader never raises the epoch:
+        # no broadcasts, no gate advance — the deposed leader's writes
+        # stay indistinguishable from live ones at every machine.
+        if self.fence_on_failover:
+            for machine in self.scheduler.cluster.machines:
+                self.network.send(
+                    node, machine.name,
+                    deliver=lambda m=machine.name, t=term:
+                        self.gate.raise_floor(m, t),
+                    kind="fence")
+                self.monitor.count("fence_broadcasts")
+            self.gate.advance(term)
         durable = self.scheduler.journal.durable_records(self.env.now)
         self.journal_records_at_failover = len(durable)
         self.unshipped_at_promotion = sum(
@@ -176,7 +190,14 @@ class ReplicatedControlPlane:
 
     def _stale_probe(self, machine: str, term: int,
                      rejections: list) -> None:
+        # Every delivered stale write counts; with the fence up, each is
+        # rejected one-for-one (the fencing conservation law). An
+        # *accepted* stale write is split-brain — the law's left side
+        # stops tracking the right, and the invariant engine sees it.
+        self.stale_dispatches += 1
+        self.monitor.count("stale_dispatches")
         if not self.gate.admit_dispatch(machine, term):
-            self.stale_dispatches += 1
-            self.monitor.count("stale_dispatches")
             rejections.append(machine)
+        else:
+            self.split_brain_writes += 1
+            self.monitor.count("split_brain_writes")

@@ -81,6 +81,7 @@ class ClusterSimulator:
                  tracer=None, registry=None,
                  network=None, node_name: str = "scheduler",
                  report_retry_s: float = 2.0,
+                 report_retry: bool = True,
                  service_time_factor=None,
                  fencing=None):
         if failure_mode not in ("requeue", "drop"):
@@ -158,6 +159,12 @@ class ClusterSimulator:
         #: How often a machine re-sends a completion report the network
         #: refused to carry.
         self.report_retry_s = report_retry_s
+        #: ``report_retry=False`` is a deliberately plantable bug knob
+        #: (for fault-injection campaigns): a lost completion report is
+        #: never re-sent, so the task sits in ``_pending_reports``
+        #: forever and the schedule never finishes — the liveness hole
+        #: the campaign oracles exist to catch.
+        self.report_retry = report_retry
         #: Optional callable ``Machine -> float`` multiplying each
         #: execution's runtime — the gray-failure hook
         #: (``lambda m: gray.service_factor(m.name)``).
@@ -669,7 +676,8 @@ class ClusterSimulator:
                 self.monitor.count("lost_reports")
                 self._pending_reports[task.task_id] = (task, runtime,
                                                        machine)
-                self.env.process(self._report_later(task))
+                if self.report_retry:
+                    self.env.process(self._report_later(task))
                 return
         del self.running[task.task_id]
         self._report_completion(task, runtime)

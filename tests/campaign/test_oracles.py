@@ -1,0 +1,130 @@
+"""Tests for the oracle stack and schedule execution."""
+
+import pytest
+
+from repro.campaign import (
+    Episode,
+    FaultSchedule,
+    Oracle,
+    OracleStack,
+    RunVerdict,
+    execute_schedule,
+    merge_metrics,
+    standard_oracles,
+)
+
+
+def quick_schedule(world="partition", seed=3):
+    episodes = (Episode(kind="partition", start_s=20.0, end_s=40.0),)
+    return FaultSchedule(world=world, seed=seed, sim_budget_s=240.0,
+                         episodes=episodes)
+
+
+class TestStandardOracles:
+    def test_catalog_names(self):
+        names = [o.name for o in standard_oracles()]
+        assert names == ["invariants_hold", "run_completes",
+                         "no_lost_tasks", "at_most_one_leader",
+                         "no_split_brain"]
+
+    def test_world_filtering(self):
+        partition = {o.name for o in standard_oracles("partition")}
+        failover = {o.name for o in standard_oracles("failover")}
+        assert "at_most_one_leader" not in partition
+        assert "no_split_brain" not in partition
+        assert {"at_most_one_leader", "no_split_brain"} <= failover
+
+    def test_applies_to(self):
+        anywhere = Oracle("o", lambda result: None)
+        assert anywhere.applies_to("partition")
+        only_failover = Oracle("o", lambda result: None,
+                               worlds=("failover",))
+        assert not only_failover.applies_to("partition")
+
+
+class TestExecuteSchedule:
+    def test_same_schedule_same_trace_and_result(self):
+        schedule = quick_schedule()
+        first = execute_schedule(schedule)
+        second = execute_schedule(schedule)
+        assert first.trace_digest == second.trace_digest
+        assert first.trace_events == second.trace_events
+        assert first.result == second.result
+        assert first.metrics == second.metrics
+
+    def test_extra_kwargs_plant_the_fencing_bug(self):
+        schedule = FaultSchedule(
+            world="failover", seed=3, sim_budget_s=240.0,
+            episodes=(Episode(kind="partition", start_s=30.0,
+                              end_s=80.0),))
+        clean = execute_schedule(schedule)
+        buggy = execute_schedule(
+            schedule, extra_world_kwargs={"fence_on_failover": False})
+        assert clean.result["split_brain_writes"] == 0
+        assert buggy.result["split_brain_writes"] > 0
+
+
+class TestOracleStack:
+    def test_clean_partition_schedule_passes(self):
+        stack = OracleStack(double_run=False)
+        verdict = stack.evaluate(quick_schedule(), index=5)
+        assert verdict.passed
+        assert verdict.failures == ()
+        assert verdict.index == 5
+        assert verdict.world == "partition"
+        assert verdict.schedule_digest == quick_schedule().digest()
+        assert verdict.summary["all_done"] is True
+
+    def test_double_run_passes_on_deterministic_world(self):
+        stack = OracleStack(double_run=True)
+        verdict = stack.evaluate(quick_schedule())
+        assert verdict.passed
+
+    def test_failing_oracle_names_and_details(self):
+        def always_fails(result):
+            return "synthetic failure"
+
+        stack = OracleStack(
+            oracles=(Oracle("synthetic", always_fails),),
+            double_run=False)
+        verdict = stack.evaluate(quick_schedule())
+        assert not verdict.passed
+        assert verdict.failures == ("synthetic",)
+        assert verdict.failure_details["synthetic"] == "synthetic failure"
+
+    def test_seeded_fencing_bug_fails_failover_oracles(self):
+        schedule = FaultSchedule(
+            world="failover", seed=3, sim_budget_s=240.0,
+            episodes=(Episode(kind="partition", start_s=30.0,
+                              end_s=80.0),))
+        stack = OracleStack(
+            double_run=False,
+            extra_world_kwargs={"fence_on_failover": False})
+        verdict = stack.evaluate(schedule)
+        assert not verdict.passed
+        assert "no_split_brain" in verdict.failures
+        assert "invariants_hold" in verdict.failures
+
+    def test_verdict_round_trips_through_dict(self):
+        stack = OracleStack(double_run=False)
+        verdict = stack.evaluate(quick_schedule(), index=7)
+        assert RunVerdict.from_dict(verdict.as_dict()) == verdict
+
+
+class TestMergeMetrics:
+    def test_merge_is_order_insensitive(self):
+        a = {"x": {"type": "counter", "total": 2, "by_key": {"k": 2}},
+             "y": {"type": "series", "count": 3}}
+        b = {"x": {"type": "counter", "total": 5, "by_key": {"k": 1,
+                                                             "j": 4}},
+             "z": {"type": "counter", "total": 1}}
+        merged_ab = merge_metrics([a, b])
+        merged_ba = merge_metrics([b, a])
+        assert merged_ab == merged_ba
+        assert merged_ab["x"]["total"] == 7
+        assert merged_ab["x"]["by_key"] == {"j": 4, "k": 2 + 1}
+        assert merged_ab["y"]["count"] == 3
+        assert merged_ab["z"]["total"] == 1
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_metrics([]) == {}

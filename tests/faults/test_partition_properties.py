@@ -1,0 +1,115 @@
+"""Property tests for randomized partition-episode generation.
+
+Many seeds, three properties: the same named stream always yields the
+identical timeline; episodes survive a JSON round trip; and half-open
+``[start, end)`` windows of the same group never overlap.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.partition import NetworkPartitionModel, PartitionEpisode
+from repro.sim import RandomStreams
+
+GROUPS = ("minority", "majority", "old-leader")
+
+
+def draw(seed, n=12, horizon_s=300.0, mean_duration_s=25.0,
+         one_way_p=0.3):
+    rng = RandomStreams(seed).get("episode-property")
+    return NetworkPartitionModel.random_episodes(
+        rng, GROUPS, n, horizon_s=horizon_s,
+        mean_duration_s=mean_duration_s, one_way_p=one_way_p)
+
+
+class TestSameStreamSameTimeline:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identical_across_regenerations(self, seed):
+        assert draw(seed) == draw(seed)
+
+    def test_different_seeds_differ(self):
+        timelines = {tuple((e.start_s, e.end_s, e.isolate, e.direction)
+                           for e in draw(seed)) for seed in range(10)}
+        assert len(timelines) == 10
+
+    def test_stream_name_matters(self):
+        rng_a = RandomStreams(4).get("episode-property")
+        rng_b = RandomStreams(4).get("other-stream")
+        a = NetworkPartitionModel.random_episodes(
+            rng_a, GROUPS, 8, horizon_s=300.0, mean_duration_s=25.0)
+        b = NetworkPartitionModel.random_episodes(
+            rng_b, GROUPS, 8, horizon_s=300.0, mean_duration_s=25.0)
+        assert a != b
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_episodes_round_trip(self, seed):
+        for episode in draw(seed):
+            wire = json.dumps(episode.as_dict(), sort_keys=True)
+            restored = PartitionEpisode.from_dict(json.loads(wire))
+            assert restored == episode
+
+    def test_directions_survive(self):
+        episodes = [e for seed in range(10) for e in draw(seed)]
+        directions = {e.direction for e in episodes}
+        # one_way_p=0.3 over ~100 draws: all three shapes appear.
+        assert directions == {"both", "outbound", "inbound"}
+        for episode in episodes:
+            assert PartitionEpisode.from_dict(
+                episode.as_dict()).direction == episode.direction
+
+
+class TestNoSameGroupOverlap:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_half_open_windows_disjoint_within_group(self, seed):
+        episodes = draw(seed, n=20, horizon_s=200.0,
+                        mean_duration_s=40.0)
+        by_group = {}
+        for episode in episodes:
+            by_group.setdefault(episode.isolate, []).append(episode)
+        for group_episodes in by_group.values():
+            ordered = sorted(group_episodes, key=lambda e: e.start_s)
+            for prev, cur in zip(ordered, ordered[1:]):
+                # [start, end) half-open: touching at the boundary is
+                # fine, strict overlap is not.
+                assert prev.end_s <= cur.start_s
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_no_instant_is_doubly_claimed(self, seed):
+        episodes = draw(seed, n=20, horizon_s=200.0,
+                        mean_duration_s=40.0)
+        for group in GROUPS:
+            mine = [e for e in episodes if e.isolate == group]
+            for t in range(0, 200):
+                active = [e for e in mine if e.active(float(t))]
+                assert len(active) <= 1
+
+
+class TestUpToN:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_returns_at_most_n_valid_episodes(self, seed):
+        episodes = draw(seed, n=15, horizon_s=100.0,
+                        mean_duration_s=60.0)
+        assert len(episodes) <= 15
+        for episode in episodes:
+            assert 0.0 <= episode.start_s < episode.end_s
+            assert episode.isolate in GROUPS
+
+    def test_crowded_horizon_drops_swallowed_episodes(self):
+        # A tiny horizon with long durations forces clipping to drop
+        # some of the requested episodes.
+        counts = [len(draw(seed, n=30, horizon_s=50.0,
+                           mean_duration_s=80.0))
+                  for seed in range(10)]
+        assert any(count < 30 for count in counts)
+
+    def test_rejects_bad_arguments(self):
+        rng = RandomStreams(0).get("episode-property")
+        with pytest.raises(ValueError):
+            NetworkPartitionModel.random_episodes(
+                rng, GROUPS, -1, horizon_s=10.0, mean_duration_s=1.0)
+        with pytest.raises(ValueError):
+            NetworkPartitionModel.random_episodes(
+                rng, GROUPS, 1, horizon_s=0.0, mean_duration_s=1.0)

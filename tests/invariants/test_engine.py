@@ -85,6 +85,25 @@ class TestSurveyMode:
         assert len(found) == 1
         assert found[0].delta == -1.0
 
+    def test_engine_seed_stamps_violations(self):
+        env = Environment()
+        engine = InvariantEngine(env, laws=[fixed_law("bad", 1, 2)],
+                                 check_interval_s=1.0, halt=False,
+                                 seed=99)
+        env.run(until=2.5)
+        assert engine.violations == 2
+        for violation in engine.violation_log:
+            assert violation.seed == 99
+            assert "seed=99" in str(violation)
+
+    def test_engine_without_seed_leaves_violations_unstamped(self):
+        env = Environment()
+        engine = InvariantEngine(env, laws=[fixed_law("bad", 1, 2)],
+                                 halt=False)
+        [violation] = engine.check_now()
+        assert violation.seed is None
+        assert "seed" not in str(violation)
+
 
 def test_monitor_counts_checks_and_violations_by_law():
     env = Environment()

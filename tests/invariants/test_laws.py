@@ -92,6 +92,24 @@ class TestConservationLaw:
         with pytest.raises(InvariantViolation):
             law.check()
 
+    def test_violation_carries_sim_time_and_seed(self):
+        law = law_of({"a": 3}, {"b": 1}, name="books")
+        with pytest.raises(InvariantViolation) as excinfo:
+            law.check(time=42.5, seed=1337)
+        v = excinfo.value
+        assert v.time == 42.5
+        assert v.seed == 1337
+        assert str(v) == ("invariant 'books' violated at t=42.5 "
+                          "seed=1337: [a=3] = 3 != [b=1] = 1 (delta +2)")
+
+    def test_violation_without_seed_omits_it(self):
+        with pytest.raises(InvariantViolation) as excinfo:
+            law_of({"a": 3}, {"b": 1}).check(time=5.0)
+        v = excinfo.value
+        assert v.seed is None
+        assert "seed" not in str(v)
+        assert "t=5" in str(v)
+
     def test_terms_read_live_state(self):
         books = {"in": 0, "out": 0}
         law = ConservationLaw(
