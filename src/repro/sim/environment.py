@@ -1,13 +1,49 @@
-"""The simulation environment: clock, event queue, and run loop."""
+"""The simulation environment: clock, event queue, and run loop.
+
+The dispatch machinery is split into two tiers:
+
+- an *instrumented* path (:meth:`Environment.step`) that feeds tracers,
+  the profiler, debug invariants, and the scheduling hook; and
+- a *fast* path inlined into :meth:`Environment.run` that dispatches
+  straight off the heap with pre-bound locals when none of those are
+  installed — the common case, and the hot path under every domain.
+
+Which tier runs is decided per dispatch by a one-cell "live" flag kept
+current by every hook mutator (``add_tracer``/``remove_tracer``, the
+``tracer``/``profiler``/``debug``/``_on_schedule`` setters), so
+installing a tracer mid-run takes effect on the next dispatch and
+removing the last one restores the zero-overhead loop.
+
+Queue entries are mutable lists ``[time, priority, eid, obj, remaining,
+period]`` rather than tuples so the ticker fast path (see
+:class:`repro.sim.Ticker`) can reschedule by mutating the root entry in
+place and re-sifting once (``heapreplace``) instead of allocating and
+doing a pop + push. The last two cells are ticker batch state; they are
+zero on every other entry, which lets the run loop recognize a mid-batch
+tick — the highest-volume dispatch — from ``entry[4]`` alone, without
+loading the payload object or checking its class. Entries never compare
+beyond the eid cell (eids are unique), so the trailing cells don't
+affect heap order.
+"""
 
 from __future__ import annotations
 
-import heapq
 from contextlib import contextmanager
+from heapq import heapify, heappop, heappush, heapreplace
 from itertools import count
-from typing import Any, Callable, Generator, Optional, Union
+from typing import Any, Callable, Generator, Iterable, Optional, Union
 
-from repro.sim.events import _NORMAL, Event, Process, Timeout
+from repro.sim.events import (
+    _NORMAL,
+    _URGENT,
+    Event,
+    Process,
+    Ticker,
+    Timeout,
+    _reschedule_ticker,
+    _resume_ticker,
+    _retire_entry,
+)
 
 #: Default epsilon for :func:`time_eq`: generous for second-scale sim time,
 #: tight enough to distinguish distinct scheduled instants.
@@ -56,18 +92,18 @@ class Environment:
 
     # The environment is touched on every dispatch; slots keep attribute
     # access dict-free (class attributes above are unaffected by slots).
-    __slots__ = ("_now", "_queue", "_eid", "_active_process", "debug",
-                 "_tracers", "profiler", "dispatch_count", "_current_event",
-                 "_on_schedule")
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "_debug",
+                 "_tracers", "_profiler", "dispatch_count", "_current_event",
+                 "_schedule_hook", "_live")
 
     def __init__(self, initial_time: float = 0.0, debug: bool = False):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[list] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
         #: Debug mode: assert kernel invariants (clock monotonicity,
         #: non-negative delays, sane dispatch counters) on every step.
-        self.debug = debug
+        self._debug = bool(debug)
         #: Every callable here is invoked as ``tracer(t, eid, kind)`` for
         #: each dispatched event. Multiple subscribers may be active at
         #: once (e.g. a determinism digest and a span tracer).
@@ -75,7 +111,7 @@ class Environment:
             Environment._default_tracers)
         #: Optional profiler; when set, :meth:`step` attributes wall-clock
         #: time per event kind and per resumed process to it.
-        self.profiler = Environment._default_profiler
+        self._profiler = Environment._default_profiler
         #: Events dispatched so far (a non-negative, monotone counter).
         self.dispatch_count = 0
         #: The event whose callbacks :meth:`step` is currently running;
@@ -83,7 +119,55 @@ class Environment:
         self._current_event: Optional[Event] = None
         #: Optional hook called as ``fn(event)`` whenever an event is
         #: scheduled (see :class:`repro.analysis.SharedStateSanitizer`).
-        self._on_schedule: Optional[Callable[[Event], None]] = None
+        self._schedule_hook: Optional[Callable[[Event], None]] = None
+        #: One-cell instrumentation flag, pre-bound as a local by the run
+        #: loop. ``_live[0]`` is True iff any dispatch-time hook (tracer,
+        #: profiler, debug invariants, scheduling hook) is installed —
+        #: every hook mutator keeps it current via
+        #: :meth:`_refresh_instrumentation`, so a mid-run ``add_tracer``
+        #: is honored on the very next dispatch.
+        self._live = [False]
+        self._refresh_instrumentation()
+
+    def _refresh_instrumentation(self) -> None:
+        """Recompute the live flag after any hook change."""
+        self._live[0] = bool(
+            self._tracers
+            or self._profiler is not None
+            or self._schedule_hook is not None
+            or self._debug)
+
+    @property
+    def _instrumented(self) -> bool:
+        """Whether dispatch currently routes through :meth:`step`."""
+        return self._live[0]
+
+    @property
+    def debug(self) -> bool:
+        return self._debug
+
+    @debug.setter
+    def debug(self, enabled: bool) -> None:
+        self._debug = bool(enabled)
+        self._refresh_instrumentation()
+
+    @property
+    def profiler(self):
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler) -> None:
+        self._profiler = profiler
+        self._refresh_instrumentation()
+
+    @property
+    def _on_schedule(self) -> Optional[Callable[[Event], None]]:
+        return self._schedule_hook
+
+    @_on_schedule.setter
+    def _on_schedule(self, fn: Optional[Callable[[Event], None]]) -> None:
+        self._schedule_hook = fn
+        self._refresh_instrumentation()
 
     @property
     def tracer(self) -> Optional[Callable[[float, int, str], None]]:
@@ -93,13 +177,16 @@ class Environment:
     @tracer.setter
     def tracer(self, fn: Optional[Callable[[float, int, str], None]]):
         self._tracers = [fn] if fn is not None else []
+        self._refresh_instrumentation()
 
     def add_tracer(self, fn: Callable[[float, int, str], None]) -> None:
         """Subscribe ``fn`` to every dispatched event (additive)."""
         self._tracers.append(fn)
+        self._refresh_instrumentation()
 
     def remove_tracer(self, fn: Callable[[float, int, str], None]) -> None:
         self._tracers.remove(fn)
+        self._refresh_instrumentation()
 
     @classmethod
     @contextmanager
@@ -156,9 +243,61 @@ class Environment:
         """An event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
+    def timeout_batch(self, delays: Iterable[float],
+                      value: Any = None) -> list[Timeout]:
+        """Schedule one timeout per delay in a single batched heap build.
+
+        Dispatch order is identical to ``[self.timeout(d) for d in
+        delays]`` — eids are allocated in iteration order and the heap
+        pop sequence depends only on ``(time, priority, eid)`` — but
+        when the batch rivals the queue in size the entries are appended
+        and heapified once (O(n + q)) instead of sifted one by one
+        (O(n log q)). Useful for pre-loading arrival/retry schedules.
+        """
+        queue = self._queue
+        now = self._now
+        eid = self._eid
+        raw = Timeout._raw
+        events: list[Timeout] = []
+        entries: list[list] = []
+        for delay in delays:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            event = raw(self, delay, value)
+            events.append(event)
+            entries.append([now + delay, _NORMAL, next(eid), event, 0, 0.0])
+        if entries:
+            if 4 * len(entries) >= len(queue):
+                queue.extend(entries)
+                heapify(queue)
+            else:
+                for entry in entries:
+                    heappush(queue, entry)
+            hook = self._schedule_hook
+            if hook is not None:
+                for event in events:
+                    hook(event)
+        return events
+
     def process(self, generator: Generator) -> Process:
         """Start a new process from a generator function's generator."""
         return Process(self, generator)
+
+    def ticker(self, generator: Union[Generator, Iterable]) -> Ticker:
+        """Start a pure-delay process on the timeout fast path.
+
+        ``generator`` — a generator, or any iterator such as a
+        precomputed delay list wrapped in ``iter()`` — yields raw
+        delays: ``yield d`` for one tick, ``yield (period, n)`` for a
+        batch of ``n`` fixed-period ticks — instead of events (see
+        :class:`repro.sim.Ticker`). The body starts urgently at the
+        current time, like ``process``.
+        """
+        ticker = Ticker(self, generator)
+        entry = [self._now, _URGENT, next(self._eid), ticker, 0, 0.0]
+        ticker._entry = entry
+        heappush(self._queue, entry)
+        return ticker
 
     def all_of(self, events) -> "Event":
         from repro.sim.events import AllOf
@@ -171,36 +310,63 @@ class Environment:
     # -- scheduling ------------------------------------------------------------
     def _schedule(self, event: Event, priority: int = _NORMAL,
                   delay: float = 0.0) -> None:
-        if self.debug and delay < 0:
+        if self._debug and delay < 0:
             raise DebugViolation(
                 f"scheduling {event!r} with negative delay {delay}")
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event))
-        if self._on_schedule is not None:
-            self._on_schedule(event)
+        heappush(self._queue,
+                 [self._now + delay, priority, next(self._eid), event, 0, 0.0])
+        hook = self._schedule_hook
+        if hook is not None:
+            hook(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Dispatch exactly one event (advancing the clock to it)."""
-        if not self._queue:
+        """Dispatch exactly one event (advancing the clock to it).
+
+        This is the instrumented dispatch tier: it feeds tracers, the
+        profiler, debug invariants, and ``_current_event``. The run loop
+        only routes through here while a hook is installed; manual
+        stepping always uses it (the overhead is irrelevant off the hot
+        loop, and behavior is identical either way).
+        """
+        queue = self._queue
+        if not queue:
             raise EmptySchedule()
-        t, _, eid, event = heapq.heappop(self._queue)
-        if self.debug and t < self._now:
+        entry = queue[0]
+        t = entry[0]
+        obj = entry[3]
+        if self._debug and t < self._now:
             raise DebugViolation(
                 f"clock would move backwards: {self._now} -> {t} "
-                f"dispatching {event!r}")
+                f"dispatching {obj!r}")
         self._now = t
         self.dispatch_count += 1
+        profiler = self._profiler
+        tracers = self._tracers
+        if tracers or profiler is not None:
+            kind = obj._kind
+            for tracer in tracers:
+                tracer(t, entry[2], kind)
+        if obj.__class__ is Ticker:
+            # A tick: advance the ticker in place; no callbacks run
+            # (the generator body is the "callback").
+            self._current_event = obj
+            if profiler is None:
+                self._advance_ticker(queue, entry, obj, t)
+            else:
+                t0 = profiler.clock()
+                self._advance_ticker(queue, entry, obj, t)
+                profiler.account_dispatch(kind, profiler.clock() - t0)
+            self._current_event = None
+            return
+        heappop(queue)
+        event = obj
         self._current_event = event
-        profiler = self.profiler
-        if self._tracers or profiler is not None:
-            kind = type(event).__name__
-            for tracer in self._tracers:
-                tracer(t, eid, kind)
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         if profiler is None:
             for callback in callbacks:
                 callback(event)
@@ -215,6 +381,20 @@ class Environment:
         if not event._ok and not event._defused:
             # An unhandled failure: surface it rather than losing it.
             raise event._value
+
+    @staticmethod
+    def _advance_ticker(queue: list, entry: list, ticker: Ticker,
+                        t: float) -> None:
+        """Dispatch one tick of the ticker whose entry is ``queue[0]``."""
+        remaining = entry[4]
+        if remaining:
+            # Mid-batch: reschedule by mutating the root in place — one
+            # sift, no allocation, no generator resume.
+            entry[4] = remaining - 1
+            entry[0] = t + entry[5]
+            heapreplace(queue, entry)
+        else:
+            _resume_ticker(queue, entry, ticker, t)
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -244,18 +424,175 @@ class Environment:
                     f"until ({stop_at}) must be greater than now ({self._now})")
             stop_event = None
 
+        # Hot loops: everything touched per dispatch is pre-bound to a
+        # local; ``queue[0][0]`` is ``peek()`` without the attribute
+        # walk. Each tier runs its own inner loop and transitions happen
+        # only where they can: hooks are installed/removed exclusively
+        # by user code, and no user code runs on a mid-batch tick, so
+        # the fast loops re-read ``live[0]`` only after a generator
+        # resume or an event's callbacks — a tracer installed by a
+        # callback mid-run still flips the very next dispatch onto the
+        # instrumented tier, without the highest-volume dispatch paying
+        # a per-tick flag check. The fast tier additionally exists in
+        # two copies — unbounded and ``until``-bounded — because the
+        # time-bound compare is measurable at tick rate and both
+        # ``run()`` and ``run(until=event)`` take the unbounded one
+        # (an until-event stops via StopSimulation, not the clock).
+        # Keep the three inner loops in sync.
+        queue = self._queue
+        live = self._live
+        step = self.step
+        ticker_cls = Ticker
+        resched = _reschedule_ticker
+        retire = _retire_entry
+        replace = heapreplace
+        push = heappush
+        pop = heappop
+        normal = _NORMAL
+        dispatches = 0
+        t = self._now
+        halted = False
         try:
-            # Hot loop: pre-bind the queue and step; ``queue[0][0]`` is
-            # ``peek()`` without the attribute walk and truth-test detour.
-            queue = self._queue
-            step = self.step
-            while queue and queue[0][0] < stop_at:
-                step()
+            while queue and not halted:
+                if live[0]:
+                    # -- instrumented tier: every dispatch via step().
+                    while queue:
+                        t = queue[0][0]
+                        if t >= stop_at:
+                            halted = True
+                            break
+                        step()
+                        if not live[0]:
+                            break
+                elif stop_at == float("inf"):
+                    # -- fast tier, unbounded. ``while True``: a
+                    # mid-batch tick never changes the queue size, so
+                    # emptiness is re-checked only after dispatches
+                    # that can pop (the user-code exits below).
+                    while True:
+                        entry = queue[0]
+                        dispatches += 1
+                        remaining = entry[4]
+                        if remaining:
+                            # Mid-batch tick: only a ticker entry has a
+                            # nonzero batch count, so no payload load or
+                            # class check is needed. No user code runs,
+                            # so the clock store is deferred (every
+                            # branch that reaches user code — and the
+                            # run exit paths, which can only follow one
+                            # — publish ``t`` before anything can
+                            # observe ``now``).
+                            entry[4] = remaining - 1
+                            entry[0] = entry[0] + entry[5]
+                            replace(queue, entry)
+                            continue
+                        t = entry[0]
+                        obj = entry[3]
+                        if obj.__class__ is ticker_cls:
+                            # Resume point: inline the common case (the
+                            # generator yields a non-negative float) —
+                            # at tick rate the ``_resume_ticker`` call
+                            # itself is measurable. Batches, int delays,
+                            # invalid yields, and termination funnel to
+                            # the shared helpers, so behavior is
+                            # identical to the step() tier.
+                            self._now = t
+                            try:
+                                d = obj._generator.__next__()
+                            except StopIteration as stop:
+                                retire(queue, entry)
+                                obj._finish(stop.value)
+                            except BaseException as err:
+                                retire(queue, entry)
+                                obj._crash(err)
+                            else:
+                                if d.__class__ is float and d >= 0.0:
+                                    entry[0] = t + d
+                                    entry[1] = normal
+                                    if queue[0] is entry:
+                                        replace(queue, entry)
+                                    else:
+                                        # Displaced mid-resume by some-
+                                        # thing the generator scheduled
+                                        # (rare).
+                                        retire(queue, entry)
+                                        push(queue, entry)
+                                else:
+                                    resched(queue, entry, obj, t, d)
+                            if live[0] or not queue:
+                                break
+                            continue
+                        self._now = t
+                        pop(queue)
+                        callbacks = obj.callbacks
+                        obj.callbacks = None
+                        for callback in callbacks:
+                            callback(obj)
+                        if not obj._ok and not obj._defused:
+                            raise obj._value
+                        if live[0] or not queue:
+                            break
+                else:
+                    # -- fast tier, bounded: identical plus the time
+                    # bound.
+                    while True:
+                        entry = queue[0]
+                        t = entry[0]
+                        if t >= stop_at:
+                            halted = True
+                            break
+                        dispatches += 1
+                        remaining = entry[4]
+                        if remaining:
+                            entry[4] = remaining - 1
+                            entry[0] = t + entry[5]
+                            replace(queue, entry)
+                            continue
+                        obj = entry[3]
+                        if obj.__class__ is ticker_cls:
+                            self._now = t
+                            try:
+                                d = obj._generator.__next__()
+                            except StopIteration as stop:
+                                retire(queue, entry)
+                                obj._finish(stop.value)
+                            except BaseException as err:
+                                retire(queue, entry)
+                                obj._crash(err)
+                            else:
+                                if d.__class__ is float and d >= 0.0:
+                                    entry[0] = t + d
+                                    entry[1] = normal
+                                    if queue[0] is entry:
+                                        replace(queue, entry)
+                                    else:
+                                        retire(queue, entry)
+                                        push(queue, entry)
+                                else:
+                                    resched(queue, entry, obj, t, d)
+                            if live[0] or not queue:
+                                break
+                            continue
+                        self._now = t
+                        pop(queue)
+                        callbacks = obj.callbacks
+                        obj.callbacks = None
+                        for callback in callbacks:
+                            callback(obj)
+                        if not obj._ok and not obj._defused:
+                            raise obj._value
+                        if live[0] or not queue:
+                            break
         except StopSimulation as stop:
             event = stop.args[0]
             if event._ok:
                 return event._value
             raise event._value
+        finally:
+            # ``t`` is the time of the last dispatched (or, on a
+            # stop_at break, peeked — corrected right below) entry.
+            self._now = t
+            self.dispatch_count += dispatches
         if stop_event is not None:
             raise RuntimeError(
                 "event queue ran dry before the until-event triggered")

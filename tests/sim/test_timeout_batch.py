@@ -1,0 +1,120 @@
+"""Conformance tests for :meth:`Environment.timeout_batch`.
+
+``timeout_batch`` is the bulk-scheduling entry point added by the kernel
+speed rearchitecture: when the batch rivals the queue in size it appends
+all entries and heapifies once instead of sifting one by one. Whatever
+branch it takes, the observable contract is fixed — dispatch order, eids,
+values, and hook callbacks identical to the equivalent sequence of
+``env.timeout(d)`` calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, Timeout
+
+
+def record_run(env):
+    log = []
+
+    def waiter(ev):
+        value = yield ev
+        log.append((env.now, value))
+
+    return log, waiter
+
+
+def test_dispatch_order_identical_to_sequential_timeouts():
+    delays = [3.0, 1.0, 2.0, 1.0, 0.0, 2.5]
+
+    env_a = Environment()
+    log_a, waiter_a = record_run(env_a)
+    for i, ev in enumerate(env_a.timeout_batch(delays, value="v")):
+        env_a.process(waiter_a(ev))
+    env_a.run()
+
+    env_b = Environment()
+    log_b, waiter_b = record_run(env_b)
+    for d in delays:
+        env_b.process(waiter_b(env_b.timeout(d, value="v")))
+    env_b.run()
+
+    assert log_a == log_b
+    assert env_a.now == env_b.now
+
+
+def test_equal_delays_dispatch_in_iteration_order():
+    # FIFO tie-break: eids are allocated in iteration order, so
+    # same-time timeouts fire in the order the delays were given.
+    env = Environment()
+    order = []
+    events = env.timeout_batch([1.0, 1.0, 1.0], value=None)
+    for i, ev in enumerate(events):
+        ev.callbacks.append(lambda e, i=i: order.append(i))
+    env.run()
+    assert order == [0, 1, 2]
+
+
+def test_small_batch_takes_push_branch():
+    # Queue much larger than the batch: entries are sifted in one by one.
+    env = Environment()
+    env.timeout_batch([float(i) for i in range(40)])  # build a big queue
+    before = len(env._queue)
+    events = env.timeout_batch([0.5, 0.25])
+    assert len(env._queue) == before + 2
+    fired = []
+    for ev in events:
+        ev.callbacks.append(lambda e: fired.append(env.now))
+    env.run(until=1.0)
+    assert fired == [0.25, 0.5]
+
+
+def test_large_batch_takes_heapify_branch():
+    # Batch rivals the (initially empty) queue: extend + heapify once.
+    env = Environment()
+    fired = []
+    for ev in env.timeout_batch([2.0, 1.0, 3.0]):
+        ev.callbacks.append(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_values_carried_per_event():
+    env = Environment()
+    events = env.timeout_batch([1.0, 2.0], value="payload")
+    env.run()
+    assert [ev.value for ev in events] == ["payload", "payload"]
+    assert all(isinstance(ev, Timeout) for ev in events)
+
+
+def test_negative_delay_raises_before_scheduling():
+    env = Environment()
+    with pytest.raises(ValueError, match="negative delay"):
+        env.timeout_batch([1.0, -0.5, 2.0])
+    # Nothing from the failed batch leaked into the queue.
+    assert env._queue == []
+
+
+def test_empty_batch_is_a_noop():
+    env = Environment()
+    assert env.timeout_batch([]) == []
+    assert env._queue == []
+    env.run()
+    assert env.now == 0.0
+
+
+def test_schedule_hook_called_once_per_event():
+    env = Environment()
+    hooked = []
+    env._on_schedule = hooked.append
+    events = env.timeout_batch([1.0, 2.0, 3.0])
+    assert hooked == events
+
+
+def test_generator_input_accepted():
+    env = Environment()
+    events = env.timeout_batch(0.5 * i for i in range(1, 4))
+    env.run()
+    assert env.now == 1.5
+    assert len(events) == 3

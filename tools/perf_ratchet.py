@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Kernel perf ratchet: the throughput floor only ever goes up.
+
+CI runs the kernel macro-bench in smoke mode and then checks the result
+against the committed floor::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick --out bench_quick.json
+    python tools/perf_ratchet.py check bench_quick.json
+
+which fails if any workload's *normalized* throughput (events per
+calibration unit — machine-speed independent, see
+``benchmarks/bench_kernel.py``) dropped below its floor in
+``.perf-floor``. After a deliberate kernel speedup, raise the floors
+(and commit the new file) with::
+
+    python tools/perf_ratchet.py update bench_quick.json
+
+Update leaves :data:`SLACK` of headroom under the measured value so CI
+machine jitter doesn't flap the gate, and it refuses to lower a floor —
+that direction requires a human editing ``.perf-floor``, visibly, in
+review. The floor file is keyed to the bench revision and scale; when
+``benchmarks/bench_kernel.py`` changes its workloads (bumping
+``BENCH_REVISION``), re-measure and re-``update`` rather than comparing
+apples to oranges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+FLOOR_FILE = Path(__file__).resolve().parents[1] / ".perf-floor"
+
+#: Fractional headroom left under measured normalized throughput on
+#: update. Shared CI runners see large wall-clock jitter even after
+#: calibration normalization; the ratchet exists to catch structural
+#: regressions (a hot path falling off its fast tier), not 10% noise.
+SLACK = 0.35
+
+
+def read_floor() -> dict:
+    return json.loads(FLOOR_FILE.read_text())
+
+
+def read_report(report: Path) -> dict:
+    return json.loads(report.read_text())
+
+
+def _compatible(floor: dict, doc: dict) -> str | None:
+    if floor.get("bench_revision") != doc.get("format"):
+        return (f"bench revision {doc.get('format')} != floor's "
+                f"{floor.get('bench_revision')}; re-measure and run "
+                "`python tools/perf_ratchet.py update`")
+    if floor.get("scale") != doc.get("scale"):
+        return (f"bench scale {doc.get('scale')} != floor's "
+                f"{floor.get('scale')}; run the bench with "
+                f"--scale {floor.get('scale')}")
+    return None
+
+
+def check(report: Path) -> int:
+    floor, doc = read_floor(), read_report(report)
+    mismatch = _compatible(floor, doc)
+    if mismatch is not None:
+        print(f"FAIL: {mismatch}")
+        return 1
+    failures, min_headroom = [], float("inf")
+    for name, bound in sorted(floor["floors"].items()):
+        row = doc["scenarios"].get(name)
+        if row is None:
+            failures.append(f"{name}: missing from the bench report")
+            continue
+        measured = row["normalized"]
+        if measured < bound:
+            failures.append(
+                f"{name}: normalized throughput {measured:.4f} is below "
+                f"the floor {bound:.4f}")
+        else:
+            print(f"ok: {name} normalized {measured:.4f} >= "
+                  f"floor {bound:.4f}")
+            min_headroom = min(min_headroom, measured / bound - 1.0)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}")
+        print(f"kernel throughput regressed below {FLOOR_FILE.name}; "
+              "fix the hot path or (in review) justify lowering the floor")
+        return 1
+    if min_headroom != float("inf") and min_headroom > 2 * SLACK:
+        print(f"hint: {min_headroom:.0%} headroom on every workload — "
+              "consider `python tools/perf_ratchet.py update` to ratchet up")
+    return 0
+
+
+def update(report: Path) -> int:
+    doc = read_report(report)
+    floor = read_floor() if FLOOR_FILE.exists() else {
+        "bench_revision": doc.get("format"),
+        "scale": doc.get("scale"),
+        "floors": {},
+    }
+    rebase = _compatible(floor, doc) is not None
+    if rebase:
+        # Workloads changed shape: old floors are meaningless, start over.
+        print(f"re-keying {FLOOR_FILE.name} to bench revision "
+              f"{doc.get('format')} scale {doc.get('scale')}")
+        floor = {"bench_revision": doc.get("format"),
+                 "scale": doc.get("scale"), "floors": {}}
+    changed = rebase
+    for name, row in sorted(doc["scenarios"].items()):
+        candidate = round(row["normalized"] * (1.0 - SLACK), 4)
+        current = floor["floors"].get(name)
+        if current is None or candidate > current:
+            floor["floors"][name] = candidate
+            print(f"{name}: floor "
+                  f"{'set' if current is None else 'raised'} to "
+                  f"{candidate:.4f} (measured {row['normalized']:.4f})")
+            changed = True
+        else:
+            print(f"{name}: floor stays at {current:.4f} "
+                  f"(measured {row['normalized']:.4f})")
+    if changed:
+        FLOOR_FILE.write_text(
+            json.dumps(floor, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {FLOOR_FILE.name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("command", choices=("check", "update"))
+    parser.add_argument("report", nargs="?", default="bench_quick.json",
+                        type=Path, help="bench_kernel JSON report path")
+    args = parser.parse_args(argv)
+    if not args.report.exists():
+        print(f"no bench report at {args.report}; run PYTHONPATH=src "
+              f"python benchmarks/bench_kernel.py --quick "
+              f"--out {args.report} first")
+        return 2
+    if args.command == "check" and not FLOOR_FILE.exists():
+        print(f"no {FLOOR_FILE.name}; bootstrap it with "
+              "`python tools/perf_ratchet.py update`")
+        return 2
+    return {"check": check, "update": update}[args.command](args.report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
